@@ -1,0 +1,51 @@
+"""Experiment P4.3-single: the single-occurrence tractable case.
+
+Proposition 4.3 gives a polynomial algorithm when the accessed relation
+occurs once in a conjunctive query; the benchmark compares it head-to-head
+with the general Σ₂ᵖ procedure on the same instances (the fast path should be
+clearly cheaper and must agree).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Access, Configuration
+from repro.core import is_ltr_independent, is_ltr_single_occurrence
+from repro.queries import parse_cq
+from repro.schema import SchemaBuilder
+
+
+def _setup(width: int):
+    builder = SchemaBuilder()
+    builder.domain("D")
+    names = []
+    for index in range(width):
+        name = f"R{index}"
+        builder.relation(name, [("a", "D"), ("b", "D")])
+        builder.access(f"m{index}", name, inputs=["b"], dependent=False)
+        names.append(name)
+    schema = builder.build()
+    body = ", ".join(f"R{index}(x{index}, x{index + 1})" for index in range(width))
+    query = parse_cq(schema, body)
+    configuration = Configuration(schema, {"R1": [("u", "v")]} if width > 1 else {})
+    access = Access(schema.access_method("m0"), ("w",))
+    return query, access, configuration, schema
+
+
+@pytest.mark.experiment("P4.3-single-fast-path")
+@pytest.mark.parametrize("width", [3, 5, 7])
+def test_single_occurrence_algorithm(benchmark, width):
+    query, access, configuration, schema = _setup(width)
+    result = benchmark(lambda: is_ltr_single_occurrence(query, access, configuration))
+    assert result == is_ltr_independent(query, access, configuration, schema)
+
+
+@pytest.mark.experiment("P4.3-single-general")
+@pytest.mark.parametrize("width", [3, 5])
+def test_general_procedure_on_same_instances(benchmark, width):
+    query, access, configuration, schema = _setup(width)
+    result = benchmark(
+        lambda: is_ltr_independent(query, access, configuration, schema)
+    )
+    assert result in (True, False)

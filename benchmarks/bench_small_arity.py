@@ -1,0 +1,42 @@
+"""Experiment T6.1-arity: the small-arity (binary, dependent) case.
+
+Theorem 6.1 places long-term relevance in PSPACE when relations are at most
+binary, accesses are dependent, and the query is connected.  The benchmark
+sweeps the chain length of a binary dependent-chain workload and the
+chain-length budget of the procedure (the ablation knob of DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import is_ltr_small_arity
+from repro.workloads import small_arity_scenario
+
+
+@pytest.mark.experiment("T6.1-arity")
+@pytest.mark.parametrize("length", [2, 3, 4])
+def test_small_arity_chain_scaling(benchmark, length):
+    scenario = small_arity_scenario(length)
+    result = benchmark(
+        lambda: is_ltr_small_arity(
+            scenario.query, scenario.access, scenario.configuration, scenario.schema
+        )
+    )
+    assert result is True
+
+
+@pytest.mark.experiment("T6.1-arity-budget")
+@pytest.mark.parametrize("chain_bound", [2, 4, 8])
+def test_chain_budget_ablation(benchmark, chain_bound):
+    scenario = small_arity_scenario(3)
+    result = benchmark(
+        lambda: is_ltr_small_arity(
+            scenario.query,
+            scenario.access,
+            scenario.configuration,
+            scenario.schema,
+            chain_length_bound=chain_bound,
+        )
+    )
+    assert result is True

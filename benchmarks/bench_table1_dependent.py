@@ -1,0 +1,78 @@
+"""Experiments T1-R3 / T1-R4: dependent accesses (Table 1, rows 3-4).
+
+For conjunctive queries, long-term relevance is NEXPTIME-complete and
+containment coNEXPTIME-complete; for positive queries they jump to
+2NEXPTIME / co2NEXPTIME.  The benchmark exercises the dependent-chain
+workload (Example 2.1 generalised): the cost grows with the chain length
+because witnesses must thread values through longer dependent access chains.
+
+Both the direct witness search and the Proposition 3.5 containment-oracle
+procedure are timed, which doubles as the ablation called out in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    decide_containment,
+    is_ltr_direct,
+    is_ltr_via_containment_cq,
+    is_ltr_via_containment_pq,
+)
+from repro.queries import PositiveQuery
+from repro.workloads import dependent_chain_scenario
+
+
+@pytest.mark.experiment("T1-R3-LTR-dep-CQ")
+@pytest.mark.parametrize("length", [2, 3, 4])
+def test_ltr_dependent_cq_direct(benchmark, length):
+    scenario = dependent_chain_scenario(length)
+    result = benchmark(
+        lambda: is_ltr_direct(
+            scenario.query, scenario.access, scenario.configuration, scenario.schema
+        )
+    )
+    assert result is True
+
+
+@pytest.mark.experiment("T1-R3-LTR-dep-CQ-oracle")
+@pytest.mark.parametrize("length", [2, 3])
+def test_ltr_dependent_cq_via_containment(benchmark, length):
+    scenario = dependent_chain_scenario(length)
+    result = benchmark(
+        lambda: is_ltr_via_containment_cq(
+            scenario.query, scenario.access, scenario.configuration, scenario.schema
+        )
+    )
+    assert result is True
+
+
+@pytest.mark.experiment("T1-R4-LTR-dep-PQ")
+@pytest.mark.parametrize("length", [2, 3])
+def test_ltr_dependent_pq(benchmark, length):
+    scenario = dependent_chain_scenario(length)
+    query = PositiveQuery.from_cq(scenario.query)
+    result = benchmark(
+        lambda: is_ltr_via_containment_pq(
+            query, scenario.access, scenario.configuration, scenario.schema
+        )
+    )
+    assert result is True
+
+
+@pytest.mark.experiment("T1-R3-CONT-dep")
+@pytest.mark.parametrize("length", [2, 3])
+def test_containment_dependent_chain(benchmark, length):
+    """Containment of the chain query in its last link: holds under access
+    limitations (the last link can only be reached through the chain)."""
+    from repro.queries import parse_cq
+
+    scenario = dependent_chain_scenario(length)
+    last_link = parse_cq(scenario.schema, f"L{length}(x, y)")
+    result = benchmark(
+        lambda: decide_containment(
+            scenario.query, last_link, scenario.schema, scenario.configuration
+        )
+    )
+    assert result is True

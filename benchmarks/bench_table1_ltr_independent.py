@@ -1,0 +1,56 @@
+"""Experiment T1-R1/R2-LTR-ind: long-term relevance, independent accesses
+(Table 1, LTR column, rows 1-2: Σ₂ᵖ-complete).
+
+Times the Proposition 4.5 procedure on growing conjunctive and positive
+queries, plus the polynomial Proposition 4.3 fast path for single-occurrence
+queries (experiment P4.3-single lives in bench_single_occurrence.py).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Access
+from repro.core import is_ltr_independent
+from repro.workloads import (
+    random_configuration,
+    random_cq,
+    random_instance,
+    random_pq,
+    random_schema,
+)
+
+
+def _setup(query_size: int, positive: bool, seed: int = 2):
+    schema = random_schema(relations=4, max_arity=2, dependent_ratio=0.0, seed=seed)
+    instance = random_instance(schema, tuples_per_relation=4, seed=seed)
+    configuration = random_configuration(instance, fraction=0.3, seed=seed)
+    if positive:
+        query = random_pq(
+            schema, disjuncts=2, atoms_per_disjunct=max(1, query_size // 2), seed=seed
+        )
+    else:
+        query = random_cq(schema, atoms=query_size, variables=query_size, seed=seed)
+    method = schema.access_methods[0]
+    binding = tuple("d00" for _ in method.input_places)
+    return query, Access(method, binding), configuration, schema
+
+
+@pytest.mark.experiment("T1-LTR-ind-CQ")
+@pytest.mark.parametrize("query_size", [2, 3, 4])
+def test_ltr_independent_cq_scaling(benchmark, query_size):
+    query, access, configuration, schema = _setup(query_size, positive=False)
+    result = benchmark(
+        lambda: is_ltr_independent(query, access, configuration, schema)
+    )
+    assert result in (True, False)
+
+
+@pytest.mark.experiment("T1-LTR-ind-PQ")
+@pytest.mark.parametrize("query_size", [2, 4])
+def test_ltr_independent_pq_scaling(benchmark, query_size):
+    query, access, configuration, schema = _setup(query_size, positive=True)
+    result = benchmark(
+        lambda: is_ltr_independent(query, access, configuration, schema)
+    )
+    assert result in (True, False)

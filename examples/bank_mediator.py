@@ -1,0 +1,57 @@
+"""The bank scenario from the paper's introduction, answered two ways.
+
+A federated engine must find out whether the bank has a loan officer in an
+Illinois office and is approved for 30-year mortgages in Illinois, using four
+form-style interfaces.  The exhaustive strategy performs every well-formed
+access; the relevance-guided strategy only performs accesses that are
+long-term relevant for the query and stops as soon as the answer is certain.
+
+Run with:  python examples/bank_mediator.py
+"""
+
+from __future__ import annotations
+
+from repro.planner import (
+    exhaustive_strategy,
+    is_feasible,
+    maximally_contained_answers,
+    relevance_guided_strategy,
+)
+from repro.sources import build_bank_scenario
+
+
+def main() -> None:
+    scenario = build_bank_scenario(employees=10, offices=4, states=4, known_employees=2)
+    print("Query:", scenario.query)
+    print("Known employee ids:", scenario.known_employee_ids)
+    print(
+        "Static (ab-initio) executable plan exists:",
+        is_feasible(scenario.query, scenario.schema),
+    )
+    complete = maximally_contained_answers(
+        scenario.query, scenario.hidden_instance, scenario.initial_configuration()
+    )
+    print("Complete obtainable answer (inverse-rules plan):", bool(complete))
+    print()
+
+    exhaustive = exhaustive_strategy(scenario.mediator(), scenario.query)
+    print("Exhaustive strategy (Li [18]):")
+    print("  answer:          ", exhaustive.boolean_answer)
+    print("  accesses made:   ", exhaustive.accesses_made)
+    print("  facts retrieved: ", exhaustive.facts_retrieved)
+    print()
+
+    guided = relevance_guided_strategy(scenario.mediator(), scenario.query)
+    print("Relevance-guided strategy (this paper):")
+    print("  answer:          ", guided.boolean_answer)
+    print("  accesses made:   ", guided.accesses_made)
+    print("  facts retrieved: ", guided.facts_retrieved)
+    print("  relevance checks:", guided.relevance_checks)
+    print()
+    saved = exhaustive.accesses_made - guided.accesses_made
+    print(f"The relevance-guided engine saved {saved} accesses "
+          f"({exhaustive.accesses_made} -> {guided.accesses_made}).")
+
+
+if __name__ == "__main__":
+    main()

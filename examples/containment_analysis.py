@@ -1,0 +1,66 @@
+"""Containment under access limitations: Example 3.2 and the reductions of
+Section 3, executed end to end.
+
+Run with:  python examples/containment_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    containment_to_ltr,
+    cq_contained_in,
+    decide_containment,
+    find_non_containment_witness,
+    ltr_to_containment,
+)
+from repro.core import is_ltr_direct
+from repro.workloads import containment_example_scenario, dependent_chain_scenario
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ #
+    # Example 3.2: containment that only holds because of access limitations.
+    # ------------------------------------------------------------------ #
+    schema, configuration, query_r, query_s = containment_example_scenario()
+    print("Schema: R (dependent Boolean access), S (free access), one shared domain")
+    print("Q1 = exists x R(x),  Q2 = exists x S(x)")
+    print("  classical containment Q1 <= Q2:        ", cq_contained_in(query_r, query_s))
+    print(
+        "  containment under access limitations:   ",
+        decide_containment(query_r, query_s, schema, configuration),
+    )
+    witness = find_non_containment_witness(query_s, query_r, schema, configuration)
+    print("  witness that Q2 is NOT contained in Q1: ", witness.new_facts if witness else None)
+    print()
+
+    # ------------------------------------------------------------------ #
+    # Proposition 3.3: containment as non-relevance of a probe access.
+    # ------------------------------------------------------------------ #
+    reduction = containment_to_ltr(query_r, query_s, configuration, schema)
+    probe_ltr = is_ltr_direct(
+        reduction.query, reduction.access, reduction.configuration, reduction.schema
+    )
+    print("Proposition 3.3: Q1 <= Q2 iff the probe access is NOT long-term relevant")
+    print("  probe access LTR:", probe_ltr, " => containment:", not probe_ltr)
+    print()
+
+    # ------------------------------------------------------------------ #
+    # Proposition 3.4: relevance as non-containment of a rewritten query.
+    # ------------------------------------------------------------------ #
+    scenario = dependent_chain_scenario(2)
+    reduction2 = ltr_to_containment(
+        scenario.query, scenario.access, scenario.configuration, scenario.schema
+    )
+    contained = decide_containment(
+        reduction2.contained_query,
+        reduction2.containing_query,
+        reduction2.schema,
+        reduction2.configuration,
+    )
+    print("Proposition 3.4 on the dependent chain scenario:")
+    print("  rewritten query contained in original:", contained)
+    print("  => access long-term relevant:          ", not contained)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Quickstart: model sources with limited access patterns and ask whether an
+access is worth making.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Access,
+    Configuration,
+    SchemaBuilder,
+    decide_containment,
+    is_immediately_relevant,
+    is_long_term_relevant,
+    parse_cq,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ #
+    # 1. Declare a schema with access methods (Web-form style interfaces).
+    # ------------------------------------------------------------------ #
+    builder = SchemaBuilder()
+    builder.domain("PersonId")
+    builder.domain("City")
+    builder.relation("LivesIn", [("person", "PersonId"), ("city", "City")])
+    builder.relation("Knows", [("person", "PersonId"), ("friend", "PersonId")])
+    # LivesIn can only be queried by person; Knows can only be queried by person.
+    builder.access("LivesInByPerson", "LivesIn", inputs=["person"], dependent=True)
+    builder.access("KnowsByPerson", "Knows", inputs=["person"], dependent=True)
+    schema = builder.build()
+
+    # ------------------------------------------------------------------ #
+    # 2. The query: does anyone we can reach live in Paris?
+    # ------------------------------------------------------------------ #
+    query = parse_cq(schema, "LivesIn(p, 'Paris')", name="LivesInParis")
+
+    # ------------------------------------------------------------------ #
+    # 3. The configuration: what we already know (one person identifier).
+    # ------------------------------------------------------------------ #
+    configuration = Configuration.empty(schema)
+    person_domain = schema.relation("LivesIn").domain_of(0)
+    configuration.add_constant("alice", person_domain)
+    for value, domain in query.constants_with_domains():
+        configuration.add_constant(value, domain)
+
+    # ------------------------------------------------------------------ #
+    # 4. Ask the relevance questions of the paper.
+    # ------------------------------------------------------------------ #
+    lives_in_alice = Access(schema.access_method("LivesInByPerson"), ("alice",))
+    knows_alice = Access(schema.access_method("KnowsByPerson"), ("alice",))
+
+    print("Query:", query)
+    print()
+    print("Access LivesIn(alice, ?):")
+    print("  immediately relevant:", is_immediately_relevant(query, lives_in_alice, configuration))
+    print("  long-term relevant:  ", is_long_term_relevant(query, lives_in_alice, configuration, schema))
+    print()
+    print("Access Knows(alice, ?):  (not in the query, but it feeds LivesIn lookups)")
+    print("  immediately relevant:", is_immediately_relevant(query, knows_alice, configuration))
+    print("  long-term relevant:  ", is_long_term_relevant(query, knows_alice, configuration, schema))
+
+    # ------------------------------------------------------------------ #
+    # 5. Containment under access limitations (Example 3.2 of the paper).
+    # ------------------------------------------------------------------ #
+    lives_somewhere = parse_cq(schema, "LivesIn(p, c)", name="LivesSomewhere")
+    knows_someone = parse_cq(schema, "Knows(p, q)", name="KnowsSomeone")
+    print()
+    print(
+        "LivesIn(p, c) contained in Knows(p, q) under access limitations "
+        "(empty configuration):",
+        decide_containment(lives_somewhere, knows_someone, schema),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Crayfish-chase machinery: fresh constants, support chains, production plans."""
+
+from repro.chase.crayfish import ProductionPlan, can_ever_produce, iter_production_plans
+from repro.chase.fresh import FreshConstants
+
+__all__ = [
+    "FreshConstants",
+    "ProductionPlan",
+    "can_ever_produce",
+    "iter_production_plans",
+]

@@ -1,0 +1,308 @@
+"""Crayfish-chase style construction of well-formed witness paths.
+
+The upper-bound proofs of the paper (following Calì and Martinenghi) rely on
+*tree-like* counterexample instances: every element outside the initial
+configuration is generated as the output of exactly one access, and may be
+used as the input of later accesses.  This module implements the constructive
+side of that idea: given a set of *target facts* that a witness must contain,
+it searches for
+
+* an ordering of the targets such that each can be produced by a well-formed
+  access (its chosen method's input values are available when it is made), and
+* a set of *support facts* — extra accesses whose only purpose is to emit a
+  value that some target needs as a dependent input (the "chains" of the
+  crayfish chase).
+
+The search is a bounded backtracking enumeration.  Different support choices
+lead to different final fact sets, which matters for the containment search
+(the support facts may accidentally satisfy the containing query — this is
+exactly the phenomenon of Example 3.2), so all plans within the budget are
+enumerated and the caller filters them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.data import AccessPath, AccessResponse, Configuration, Fact
+from repro.chase.fresh import FreshConstants
+from repro.schema import Access, AccessMethod, Schema
+
+__all__ = ["ProductionPlan", "iter_production_plans", "can_ever_produce"]
+
+
+@dataclass(frozen=True)
+class ProductionPlan:
+    """A successful plan: a well-formed path producing the targets.
+
+    Attributes
+    ----------
+    path:
+        The well-formed access path (starting at the initial configuration).
+    target_facts:
+        The facts the caller asked for.
+    support_facts:
+        Extra facts introduced only to make dependent inputs available.
+    """
+
+    path: AccessPath
+    target_facts: Tuple[Fact, ...]
+    support_facts: Tuple[Fact, ...]
+
+    def all_new_facts(self) -> Tuple[Fact, ...]:
+        """Targets and supports together (the facts added to the configuration)."""
+        return tuple(self.target_facts) + tuple(self.support_facts)
+
+    def final_configuration(self) -> Configuration:
+        """The configuration reached at the end of the plan's path."""
+        return self.path.final_configuration()
+
+
+def can_ever_produce(schema: Schema, fact: Fact) -> bool:
+    """Whether some access method exists for the fact's relation.
+
+    Facts over relations without access methods can never be revealed — their
+    content is fixed to the initial configuration.
+    """
+    return schema.has_access(fact.relation)
+
+
+@dataclass
+class _SearchState:
+    available: Set[Tuple[object, object]]
+    pending: List[Tuple[Fact, Optional[AccessMethod]]]
+    steps: List[AccessResponse]
+    supports: List[Fact]
+
+    def clone(self) -> "_SearchState":
+        return _SearchState(
+            set(self.available),
+            list(self.pending),
+            list(self.steps),
+            list(self.supports),
+        )
+
+
+def _fact_available_pairs(schema: Schema, fact: Fact) -> Tuple[Tuple[object, object], ...]:
+    relation = schema.relation(fact.relation)
+    return tuple(
+        (value, relation.domain_of(place)) for place, value in enumerate(fact.values)
+    )
+
+
+def _producible_with(
+    schema: Schema,
+    fact: Fact,
+    method: AccessMethod,
+    available: Set[Tuple[object, object]],
+) -> bool:
+    """Whether ``fact`` can be produced by ``method`` given available values."""
+    if method.relation.name != fact.relation:
+        return False
+    if not method.dependent:
+        return True
+    relation = schema.relation(fact.relation)
+    for place in method.input_places:
+        pair = (fact.values[place], relation.domain_of(place))
+        if pair not in available:
+            return False
+    return True
+
+
+def _access_for(schema: Schema, fact: Fact, method: AccessMethod) -> AccessResponse:
+    binding = tuple(fact.values[place] for place in method.input_places)
+    access = Access(method, binding)
+    return AccessResponse(access, (fact.values,))
+
+
+def iter_production_plans(
+    schema: Schema,
+    configuration: Configuration,
+    targets: Sequence[Fact],
+    *,
+    max_support_facts: int = 4,
+    max_plans: int = 64,
+    support_value_choices: int = 2,
+    max_nodes: int = 20000,
+) -> Iterator[ProductionPlan]:
+    """Enumerate well-formed plans producing every fact of ``targets``.
+
+    Parameters
+    ----------
+    max_support_facts:
+        Budget on the number of support facts a single plan may introduce.
+    max_plans:
+        Stop after yielding this many plans.
+    support_value_choices:
+        When a support fact needs an available input value, how many distinct
+        available values are tried (the rest of the branching is pruned).
+    max_nodes:
+        Global budget on explored search nodes, a safety valve against
+        exponential blow-up.
+    """
+    deduped: List[Fact] = []
+    seen: Set[Tuple[str, Tuple[object, ...]]] = set()
+    for fact in targets:
+        key = (fact.relation, fact.values)
+        if key in seen or configuration.contains(fact.relation, fact.values):
+            continue
+        seen.add(key)
+        deduped.append(fact)
+
+    for fact in deduped:
+        if not can_ever_produce(schema, fact):
+            return
+
+    reserved = {value for value, _ in configuration.active_domain()}
+    for fact in deduped:
+        reserved.update(fact.values)
+
+    produced_count = 0
+    nodes_explored = 0
+
+    initial = _SearchState(
+        available=set(configuration.active_domain()),
+        pending=[(fact, None) for fact in deduped],
+        steps=[],
+        supports=[],
+    )
+
+    def plans(state: _SearchState, fresh: FreshConstants) -> Iterator[ProductionPlan]:
+        nonlocal produced_count, nodes_explored
+        if produced_count >= max_plans or nodes_explored >= max_nodes:
+            return
+        nodes_explored += 1
+
+        # Greedily produce every pending fact that is already producible.
+        progressed = True
+        while progressed:
+            progressed = False
+            for index, (fact, _forced) in enumerate(list(state.pending)):
+                methods = schema.methods_for(fact.relation)
+                usable = [
+                    method
+                    for method in methods
+                    if _producible_with(schema, fact, method, state.available)
+                ]
+                if usable:
+                    method = usable[0]
+                    state.pending.pop(index)
+                    state.steps.append(_access_for(schema, fact, method))
+                    state.available.update(_fact_available_pairs(schema, fact))
+                    progressed = True
+                    break
+
+        if not state.pending:
+            path = AccessPath(configuration.copy(), list(state.steps))
+            produced_count += 1
+            yield ProductionPlan(path, tuple(deduped), tuple(state.supports))
+            return
+
+        if len(state.supports) >= max_support_facts:
+            return
+
+        # Stuck: some pending fact needs an unavailable dependent input value.
+        # Branch over (pending fact, method, missing value) and over ways of
+        # supporting that value.
+        for fact, _forced in state.pending:
+            relation = schema.relation(fact.relation)
+            for method in schema.methods_for(fact.relation):
+                if not method.dependent:
+                    continue
+                missing = [
+                    (fact.values[place], relation.domain_of(place))
+                    for place in method.input_places
+                    if (fact.values[place], relation.domain_of(place))
+                    not in state.available
+                ]
+                if not missing:
+                    continue
+                value, domain = missing[0]
+                for support in _support_candidates(
+                    schema, state, value, domain, fresh, support_value_choices
+                ):
+                    branched = state.clone()
+                    branched.pending.append((support, None))
+                    branched.supports.append(support)
+                    yield from plans(branched, fresh)
+                    if produced_count >= max_plans or nodes_explored >= max_nodes:
+                        return
+
+    yield from plans(initial, FreshConstants(reserved))
+
+
+def _support_candidates(
+    schema: Schema,
+    state: _SearchState,
+    value: object,
+    domain: object,
+    fresh: FreshConstants,
+    support_value_choices: int,
+) -> Iterator[Fact]:
+    """Candidate support facts that would emit ``value`` (of ``domain``).
+
+    A support fact lives in a relation with an access method whose *output*
+    places include a place of the right domain; its input places are filled
+    with already-available values (a bounded number of choices) or fresh
+    values (which will recursively need their own support), and its remaining
+    output places are filled with fresh values so that the support interferes
+    as little as possible with the rest of the witness.
+    """
+    for method in schema.access_methods:
+        relation = method.relation
+        for output_place in method.output_places:
+            if relation.domain_of(output_place) != domain:
+                continue
+            input_choice_lists: List[List[object]] = []
+            feasible = True
+            for place in method.input_places:
+                place_domain = relation.domain_of(place)
+                if method.dependent:
+                    available_values = sorted(
+                        {
+                            val
+                            for val, dom in state.available
+                            if dom == place_domain
+                        },
+                        key=repr,
+                    )[:support_value_choices]
+                    choices = list(available_values)
+                    fresh_value = fresh.new(place_domain)
+                    if fresh_value is not None:
+                        choices.append(fresh_value)
+                else:
+                    fresh_value = fresh.new(place_domain)
+                    choices = [fresh_value] if fresh_value is not None else []
+                if not choices:
+                    feasible = False
+                    break
+                input_choice_lists.append(choices)
+            if not feasible:
+                continue
+            for input_values in _cartesian(input_choice_lists):
+                values: List[object] = [None] * relation.arity
+                for place, chosen in zip(method.input_places, input_values):
+                    values[place] = chosen
+                values[output_place] = value
+                usable = True
+                for place in method.output_places:
+                    if place == output_place:
+                        continue
+                    filler = fresh.new(relation.domain_of(place))
+                    if filler is None:
+                        usable = False
+                        break
+                    values[place] = filler
+                if usable:
+                    yield Fact(relation.name, tuple(values))
+
+
+def _cartesian(choice_lists: Sequence[Sequence[object]]) -> Iterator[Tuple[object, ...]]:
+    if not choice_lists:
+        yield ()
+        return
+    head, *rest = choice_lists
+    for value in head:
+        for tail in _cartesian(rest):
+            yield (value,) + tail

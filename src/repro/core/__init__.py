@@ -1,0 +1,48 @@
+"""The paper's primary contribution: relevance and containment procedures."""
+
+from repro.core.containment import (
+    ContainmentOptions,
+    ContainmentWitness,
+    decide_cm_containment,
+    decide_containment,
+    find_non_containment_witness,
+)
+from repro.core.immediate import is_immediately_relevant
+from repro.core.longterm_dependent import (
+    is_ltr_direct,
+    is_ltr_via_containment_cq,
+    is_ltr_via_containment_pq,
+)
+from repro.core.longterm_independent import (
+    is_ltr_independent,
+    is_ltr_single_occurrence,
+)
+from repro.core.reductions import (
+    ContainmentToLTR,
+    LTRToContainment,
+    containment_to_ltr,
+    ltr_to_containment,
+)
+from repro.core.relevance import is_long_term_relevant
+from repro.core.small_arity import check_small_arity_preconditions, is_ltr_small_arity
+
+__all__ = [
+    "is_immediately_relevant",
+    "is_long_term_relevant",
+    "is_ltr_independent",
+    "is_ltr_single_occurrence",
+    "is_ltr_direct",
+    "is_ltr_via_containment_cq",
+    "is_ltr_via_containment_pq",
+    "is_ltr_small_arity",
+    "check_small_arity_preconditions",
+    "ContainmentOptions",
+    "ContainmentWitness",
+    "decide_containment",
+    "decide_cm_containment",
+    "find_non_containment_witness",
+    "containment_to_ltr",
+    "ltr_to_containment",
+    "ContainmentToLTR",
+    "LTRToContainment",
+]

@@ -1,0 +1,186 @@
+"""Enumeration of candidate variable assignments for the decision procedures.
+
+The procedures for immediate and long-term relevance (Propositions 4.1 and
+4.5) guess mappings of the query variables into the active domain of the
+configuration extended with a bounded number of fresh constants.  This module
+centralises that enumeration:
+
+* a variable of an *infinite* domain ranges over the active-domain values of
+  its domain plus a pool of fresh values (one shared pool per domain, as many
+  values as requested);
+* a variable of an *enumerated* domain ranges over the full enumeration (any
+  value may appear in an instance consistent with the configuration).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.data import Configuration
+from repro.chase.fresh import FreshConstants
+from repro.queries.terms import Variable
+from repro.schema import AbstractDomain
+
+__all__ = ["candidate_values", "iter_assignments", "iter_witness_assignments"]
+
+
+def candidate_values(
+    domain: AbstractDomain,
+    configuration: Configuration,
+    fresh_values: Sequence[object] = (),
+) -> Tuple[object, ...]:
+    """Candidate values a variable of ``domain`` may take in a witness."""
+    if domain.is_enumerated:
+        return tuple(sorted(domain.values or (), key=repr))
+    adom_values = sorted(
+        {value for value, dom in configuration.active_domain() if dom == domain},
+        key=repr,
+    )
+    return tuple(adom_values) + tuple(fresh_values)
+
+
+def iter_assignments(
+    variables: Sequence[Variable],
+    variable_domains: Mapping[Variable, AbstractDomain],
+    configuration: Configuration,
+    *,
+    fresh_per_domain: int = 1,
+    max_assignments: Optional[int] = None,
+) -> Iterator[Dict[Variable, object]]:
+    """Enumerate assignments of ``variables`` into active-domain and fresh values.
+
+    ``fresh_per_domain`` controls how many distinct fresh values per abstract
+    domain are made available; one suffices for immediate relevance (the
+    identification argument of Proposition 4.1), while long-term relevance
+    uses as many as there are variables of the domain so that distinct
+    variables can take distinct fresh values.
+    """
+    fresh = FreshConstants(
+        {value for value, _ in configuration.active_domain()}
+    )
+    fresh_pools: Dict[str, Tuple[object, ...]] = {}
+    pools: List[Tuple[object, ...]] = []
+    for variable in variables:
+        domain = variable_domains[variable]
+        if domain.name not in fresh_pools and not domain.is_enumerated:
+            fresh_pools[domain.name] = fresh.several(domain, fresh_per_domain)
+        pool = candidate_values(
+            domain, configuration, fresh_pools.get(domain.name, ())
+        )
+        if not pool:
+            return
+        pools.append(pool)
+
+    produced = 0
+    for combination in itertools.product(*pools):
+        yield dict(zip(variables, combination))
+        produced += 1
+        if max_assignments is not None and produced >= max_assignments:
+            return
+
+
+def iter_witness_assignments(
+    atoms,
+    variable_domains: Mapping[Variable, AbstractDomain],
+    configuration: Configuration,
+    access=None,
+    *,
+    schema=None,
+    fresh_per_domain: int = 1,
+    max_assignments: Optional[int] = None,
+) -> Iterator[Dict[Variable, object]]:
+    """Enumerate assignments restricted to *useful* active-domain values.
+
+    A witness (for immediate relevance, long-term relevance, or
+    non-containment) only benefits from mapping a variable ``x`` to an
+    active-domain value ``v`` when ``v`` can actually participate in a
+    witnessed subgoal through ``x``: either ``v`` occurs in a configuration
+    fact at one of the places where ``x`` occurs, or ``v`` is a binding value
+    of the probed access at an input place where ``x`` occurs.  Any other
+    active-domain value is interchangeable with a fresh constant, so the
+    enumeration skips it.  Variables of enumerated domains still range over
+    the whole enumeration.
+
+    When ``schema`` is supplied (long-term relevance and containment, where
+    witnesses may produce new facts), a variable occurring at an *input place*
+    of some dependent access method additionally ranges over every
+    active-domain value of its abstract domain: binding a dependent input to
+    an already-known constant is how a witness avoids support chains.
+
+    This restriction keeps the guessing step polynomial in the configuration
+    for a fixed query (the data-complexity claims of Propositions 4.1, 4.5,
+    and 5.7) while preserving the witnesses the unrestricted enumeration
+    would find.
+    """
+    variables: List[Variable] = []
+    for atom in atoms:
+        for variable in atom.variables:
+            if variable not in variables:
+                variables.append(variable)
+
+    useful: Dict[Variable, set] = {variable: set() for variable in variables}
+    binding_by_place = access.binding_by_place if access is not None else {}
+    seed_constants = getattr(configuration, "seed_constants", frozenset())
+    for atom in atoms:
+        rows = configuration.tuples(atom.relation.name)
+        for place, term in enumerate(atom.terms):
+            if term not in useful:
+                continue
+            for row in rows:
+                useful[term].add(row[place])
+            if (
+                access is not None
+                and atom.relation.name == access.relation.name
+                and place in binding_by_place
+            ):
+                useful[term].add(binding_by_place[place])
+    # Seed constants (query constants, known identifiers) occur in no fact but
+    # can still be required as dependent-access inputs in a witness.
+    for variable in variables:
+        domain = variable_domains[variable]
+        for value, constant_domain in seed_constants:
+            if constant_domain == domain:
+                useful[variable].add(value)
+
+    if schema is not None:
+        adom = configuration.active_domain()
+        input_place_variables = set()
+        for atom in atoms:
+            if not schema.has_relation(atom.relation.name):
+                continue
+            input_places = set()
+            for method in schema.methods_for(atom.relation.name):
+                if method.dependent:
+                    input_places.update(method.input_places)
+            for place in input_places:
+                term = atom.terms[place]
+                if term in useful:
+                    input_place_variables.add(term)
+        for variable in input_place_variables:
+            domain = variable_domains[variable]
+            for value, value_domain in adom:
+                if value_domain == domain:
+                    useful[variable].add(value)
+
+    fresh = FreshConstants({value for value, _ in configuration.active_domain()})
+    fresh_pools: Dict[str, Tuple[object, ...]] = {}
+    pools = []
+    for variable in variables:
+        domain = variable_domains[variable]
+        if domain.is_enumerated:
+            pool: Tuple[object, ...] = tuple(sorted(domain.values or (), key=repr))
+        else:
+            if domain.name not in fresh_pools:
+                fresh_pools[domain.name] = fresh.several(domain, fresh_per_domain)
+            pool = tuple(sorted(useful[variable], key=repr)) + fresh_pools[domain.name]
+        if not pool:
+            return
+        pools.append(pool)
+
+    produced = 0
+    for combination in itertools.product(*pools):
+        yield dict(zip(variables, combination))
+        produced += 1
+        if max_assignments is not None and produced >= max_assignments:
+            return

@@ -1,0 +1,307 @@
+"""Long-term relevance in the presence of dependent accesses (Section 5).
+
+Three procedures are provided, all for Boolean queries:
+
+* :func:`is_ltr_direct` — a direct bounded search for a witness path, valid
+  for any mix of dependent and independent access methods and any access.
+  It mirrors the definition: guess which subgoals the first access witnesses,
+  produce the remaining subgoals by a well-formed path (support chains
+  included), and check that the query fails at the end of the truncated path.
+* :func:`is_ltr_via_containment_cq` — the nondeterministic polynomial-time
+  Turing reduction of Proposition 3.5 for conjunctive queries: loop over the
+  proper subsets of the access-compatible subgoals and call the containment
+  oracle.
+* :func:`is_ltr_via_containment_pq` — the many-one reduction of
+  Proposition 3.4 for positive queries and Boolean accesses: rewrite the
+  query with an ``IsBind`` relation and test non-containment.
+
+The direct search is the default used by the facade
+(:func:`repro.core.relevance.is_long_term_relevant`); the reduction-based
+procedures exist to make the paper's reductions executable and are
+cross-checked against the direct search in the test suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+from repro.data import (
+    AccessPath,
+    AccessResponse,
+    Configuration,
+    Fact,
+    is_well_formed,
+)
+from repro.exceptions import QueryError
+from repro.queries import (
+    ConjunctiveQuery,
+    PositiveQuery,
+    evaluate_boolean,
+    is_certain,
+)
+from repro.queries.terms import is_variable
+from repro.chase import iter_production_plans
+from repro.core.assignments import iter_witness_assignments
+from repro.core.containment import ContainmentOptions, decide_containment
+from repro.core.reductions import ltr_to_containment
+from repro.schema import Access, Schema
+
+__all__ = [
+    "is_ltr_direct",
+    "is_ltr_via_containment_cq",
+    "is_ltr_via_containment_pq",
+]
+
+
+def _disjuncts(query) -> Sequence[ConjunctiveQuery]:
+    if isinstance(query, ConjunctiveQuery):
+        return (query,)
+    if isinstance(query, PositiveQuery):
+        return query.to_ucq()
+    raise QueryError(f"unsupported query type {type(query)!r}")
+
+
+def is_ltr_direct(
+    query,
+    access: Access,
+    configuration: Configuration,
+    schema: Schema,
+    *,
+    options: Optional[ContainmentOptions] = None,
+    max_assignments: Optional[int] = 200000,
+) -> bool:
+    """Bounded direct search for a long-term relevance witness.
+
+    Sound: any ``True`` answer is backed by an explicit well-formed path whose
+    truncation does not satisfy the query.  Complete up to the search budgets
+    (fresh constants per domain, support facts, plans per guess).
+
+    Two witness shapes are explored:
+
+    1. the first access witnesses one or more subgoals of the query (the only
+       shape possible for Boolean accesses, and the shape the paper's
+       Section 5 procedures cover);
+    2. for non-Boolean accesses, the first access contributes only *values*:
+       its response is a single generic fact (binding at the input places,
+       fresh values at the outputs) whose fresh values later dependent
+       accesses consume — the EmpManAcc pattern of the paper's introduction.
+       The paper leaves non-Boolean accesses to future work; this mode is the
+       natural extension.
+    """
+    if not query.is_boolean:
+        raise QueryError("long-term relevance is defined for Boolean queries")
+    options = options or ContainmentOptions()
+    if not is_well_formed(access, configuration):
+        return False
+    if is_certain(query, configuration):
+        return False
+
+    for disjunct in _disjuncts(query):
+        variables = disjunct.variables
+        variable_domains = disjunct.variable_domains()
+        fresh_count = max(1, len(variables))
+        for assignment in iter_witness_assignments(
+            disjunct.atoms,
+            variable_domains,
+            configuration,
+            access,
+            schema=schema,
+            fresh_per_domain=fresh_count,
+            max_assignments=max_assignments,
+        ):
+            first_facts: List[Fact] = []
+            later_facts: List[Fact] = []
+            feasible = True
+            for atom in disjunct.atoms:
+                values = atom.ground_values(assignment)
+                if configuration.contains(atom.relation.name, values):
+                    continue
+                if atom.relation.name == access.relation.name and access.matches(values):
+                    first_facts.append(Fact(atom.relation.name, values))
+                    continue
+                if schema.has_access(atom.relation.name):
+                    later_facts.append(Fact(atom.relation.name, values))
+                    continue
+                feasible = False
+                break
+            if not feasible or not first_facts:
+                continue
+
+            first_response = AccessResponse(
+                access, tuple(fact.values for fact in first_facts)
+            )
+            after_first = configuration.extended_with(first_facts)
+            for plan in iter_production_plans(
+                schema,
+                after_first,
+                later_facts,
+                max_support_facts=options.max_support_facts,
+                max_plans=options.max_plans_per_assignment,
+                support_value_choices=options.support_value_choices,
+                max_nodes=options.max_nodes,
+            ):
+                full_path = AccessPath(
+                    configuration.copy(), [first_response] + list(plan.path.steps)
+                )
+                truncated = full_path.truncation().final_configuration()
+                if not evaluate_boolean(query, truncated):
+                    return True
+
+    return _ltr_via_generic_response(
+        query, access, configuration, schema, options, max_assignments
+    )
+
+
+def _ltr_via_generic_response(
+    query,
+    access: Access,
+    configuration: Configuration,
+    schema: Schema,
+    options: ContainmentOptions,
+    max_assignments: Optional[int],
+) -> bool:
+    """Witness shape 2: the first access only contributes fresh output values."""
+    method = access.method
+    if not method.output_places:
+        return False
+
+    from repro.chase.fresh import FreshConstants
+
+    fresh = FreshConstants({value for value, _ in configuration.active_domain()})
+    relation = method.relation
+    values: List[object] = [None] * relation.arity
+    for place, bound in access.binding_by_place.items():
+        values[place] = bound
+    for place in method.output_places:
+        fresh_value = fresh.new(relation.domain_of(place))
+        if fresh_value is None:
+            return False
+        values[place] = fresh_value
+    first_fact = Fact(relation.name, tuple(values))
+    first_response = AccessResponse(access, (tuple(values),))
+    after_first = configuration.extended_with([first_fact])
+
+    for disjunct in _disjuncts(query):
+        variable_domains = disjunct.variable_domains()
+        fresh_count = max(1, len(disjunct.variables))
+        for assignment in iter_witness_assignments(
+            disjunct.atoms,
+            variable_domains,
+            after_first,
+            None,
+            schema=schema,
+            fresh_per_domain=fresh_count,
+            max_assignments=max_assignments,
+        ):
+            later_facts: List[Fact] = []
+            feasible = True
+            for atom in disjunct.atoms:
+                atom_values = atom.ground_values(assignment)
+                if after_first.contains(atom.relation.name, atom_values):
+                    continue
+                if schema.has_access(atom.relation.name):
+                    later_facts.append(Fact(atom.relation.name, atom_values))
+                    continue
+                feasible = False
+                break
+            if not feasible or not later_facts:
+                continue
+            for plan in iter_production_plans(
+                schema,
+                after_first,
+                later_facts,
+                max_support_facts=options.max_support_facts,
+                max_plans=options.max_plans_per_assignment,
+                support_value_choices=options.support_value_choices,
+                max_nodes=options.max_nodes,
+            ):
+                full_path = AccessPath(
+                    configuration.copy(), [first_response] + list(plan.path.steps)
+                )
+                truncated = full_path.truncation().final_configuration()
+                if not evaluate_boolean(query, truncated):
+                    return True
+    return False
+
+
+def _compatible_with_access(atom, access: Access) -> bool:
+    """Whether a subgoal could be witnessed by the access (Proposition 3.5)."""
+    if atom.relation.name != access.relation.name:
+        return False
+    for place, bound_value in access.binding_by_place.items():
+        term = atom.terms[place]
+        if not is_variable(term) and term != bound_value:
+            return False
+    return True
+
+
+def is_ltr_via_containment_cq(
+    query: ConjunctiveQuery,
+    access: Access,
+    configuration: Configuration,
+    schema: Schema,
+    *,
+    options: Optional[ContainmentOptions] = None,
+) -> bool:
+    """Proposition 3.5: LTR for a CQ via an oracle for containment.
+
+    Splits the query into access-compatible subgoals ``Q1`` and the rest
+    ``Q2``; the access is long-term relevant iff, for some proper subset
+    ``Q1' ⊊ Q1``, the query ``Q1' ∧ Q2`` is *not* contained in ``Q`` under
+    access limitations starting from the configuration.
+    """
+    if not isinstance(query, ConjunctiveQuery):
+        raise QueryError("Proposition 3.5 applies to conjunctive queries")
+    if not query.is_boolean:
+        raise QueryError("long-term relevance is defined for Boolean queries")
+    if not is_well_formed(access, configuration):
+        return False
+
+    compatible = [atom for atom in query.atoms if _compatible_with_access(atom, access)]
+    others = [atom for atom in query.atoms if atom not in compatible]
+    if not compatible:
+        return False
+
+    for size in range(len(compatible)):
+        for subset in itertools.combinations(compatible, size):
+            lhs_atoms = list(subset) + others
+            if not lhs_atoms:
+                # The empty conjunction is identically true; it is contained in
+                # Q iff Q holds at every reachable configuration, and the
+                # initial configuration is reachable.
+                if not is_certain(query, configuration):
+                    return True
+                continue
+            lhs = ConjunctiveQuery(tuple(lhs_atoms), (), f"{query.name}_guess")
+            if not decide_containment(lhs, query, schema, configuration, options):
+                return True
+    return False
+
+
+def is_ltr_via_containment_pq(
+    query,
+    access: Access,
+    configuration: Configuration,
+    schema: Schema,
+    *,
+    options: Optional[ContainmentOptions] = None,
+) -> bool:
+    """Proposition 3.4: LTR for a positive query via one non-containment test.
+
+    Rewrites the query with the ``IsBind`` relation and checks that the
+    rewriting is not contained in the original query under access limitations
+    starting from the extended configuration.
+    """
+    if not query.is_boolean:
+        raise QueryError("long-term relevance is defined for Boolean queries")
+    if not is_well_formed(access, configuration):
+        return False
+    instance = ltr_to_containment(query, access, configuration, schema)
+    return not decide_containment(
+        instance.contained_query,
+        instance.containing_query,
+        instance.schema,
+        instance.configuration,
+        options,
+    )

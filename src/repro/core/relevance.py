@@ -1,0 +1,93 @@
+"""Facade API for relevance decisions.
+
+:func:`is_immediately_relevant` and :func:`is_long_term_relevant` are the two
+entry points a query engine needs (Section 1's motivating scenario): given
+what is currently known (the configuration), should a particular access be
+made at all?
+
+``is_long_term_relevant`` dispatches on the structure of the problem:
+
+* every access method independent → the Σ₂ᵖ procedure of Proposition 4.5,
+  with the polynomial fast path of Proposition 4.3 when the accessed relation
+  occurs exactly once in a conjunctive query;
+* dependent accesses present → the direct bounded witness search (default),
+  or the containment-oracle procedures of Propositions 3.5 / 3.4 when
+  ``method`` requests them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.data import Configuration
+from repro.exceptions import QueryError
+from repro.queries import ConjunctiveQuery
+from repro.core.containment import ContainmentOptions
+from repro.core.immediate import is_immediately_relevant
+from repro.core.longterm_dependent import (
+    is_ltr_direct,
+    is_ltr_via_containment_cq,
+    is_ltr_via_containment_pq,
+)
+from repro.core.longterm_independent import (
+    is_ltr_independent,
+    is_ltr_single_occurrence,
+)
+from repro.schema import Access, Schema
+
+__all__ = ["is_immediately_relevant", "is_long_term_relevant"]
+
+
+def is_long_term_relevant(
+    query,
+    access: Access,
+    configuration: Configuration,
+    schema: Schema,
+    *,
+    method: str = "auto",
+    options: Optional[ContainmentOptions] = None,
+) -> bool:
+    """Decide whether ``access`` is long-term relevant for a Boolean ``query``.
+
+    Parameters
+    ----------
+    method:
+        ``"auto"`` (default) picks the procedure matching the paper's case
+        analysis; ``"direct"`` forces the bounded witness search;
+        ``"containment-cq"`` and ``"containment-pq"`` force the
+        Proposition 3.5 / 3.4 reductions; ``"independent"`` forces the
+        Proposition 4.5 procedure (only valid when all methods are
+        independent); ``"single-occurrence"`` forces Proposition 4.3.
+    """
+    if not query.is_boolean:
+        raise QueryError(
+            "long-term relevance is defined for Boolean queries; reduce "
+            "non-Boolean queries first (Proposition 2.2)"
+        )
+
+    if method == "direct":
+        return is_ltr_direct(query, access, configuration, schema, options=options)
+    if method == "containment-cq":
+        return is_ltr_via_containment_cq(
+            query, access, configuration, schema, options=options
+        )
+    if method == "containment-pq":
+        return is_ltr_via_containment_pq(
+            query, access, configuration, schema, options=options
+        )
+    if method == "independent":
+        return is_ltr_independent(query, access, configuration, schema)
+    if method == "single-occurrence":
+        return is_ltr_single_occurrence(query, access, configuration)
+    if method != "auto":
+        raise QueryError(f"unknown long-term relevance method {method!r}")
+
+    if schema.all_independent():
+        if (
+            isinstance(query, ConjunctiveQuery)
+            and query.occurrences(access.relation.name) == 1
+            and all(schema.has_access(name) for name in query.relation_names())
+        ):
+            return is_ltr_single_occurrence(query, access, configuration)
+        return is_ltr_independent(query, access, configuration, schema)
+    return is_ltr_direct(query, access, configuration, schema, options=options)

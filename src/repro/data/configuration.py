@@ -1,0 +1,120 @@
+"""Configurations: the knowledge accumulated by past accesses (Section 2).
+
+A *configuration* ``Conf`` for an instance ``I`` is a sub-instance of ``I``:
+for every relation, a subset of its tuples.  A configuration is *consistent*
+with any instance that contains it.  For monotone (positive) queries, a
+Boolean query is *certain* at ``Conf`` exactly when it already holds in
+``Conf`` itself, because ``Conf`` is the minimal consistent instance; the
+certain-answer machinery in :mod:`repro.queries.certain` relies on this.
+
+A configuration also knows which constants of the query are available; the
+paper assumes "all constants appearing in the query are present in the
+configuration", which is modelled by :meth:`Configuration.with_constants`.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import ConsistencyError
+from repro.data.instance import Fact, Instance
+from repro.schema import AbstractDomain, Schema
+
+__all__ = ["Configuration"]
+
+
+class Configuration(Instance):
+    """A configuration: an instance plus a set of known constants.
+
+    In addition to ground facts, a configuration carries *seed constants*
+    (value, domain) pairs — constants that are known without being part of any
+    fact yet, such as the constants occurring in the query.  Seed constants
+    participate in the active domain and can therefore be used as inputs to
+    dependent accesses, exactly as the paper prescribes.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        facts: Union[Mapping[str, Iterable[Sequence[object]]], Iterable[Fact], None] = None,
+        constants: Iterable[Tuple[object, AbstractDomain]] = (),
+    ) -> None:
+        super().__init__(schema, facts)
+        self._constants: set = set(constants)
+
+    # ------------------------------------------------------------------ #
+    # Seed constants
+    # ------------------------------------------------------------------ #
+    @property
+    def seed_constants(self) -> FrozenSet[Tuple[object, AbstractDomain]]:
+        """Constants known to the configuration independently of any fact."""
+        return frozenset(self._constants)
+
+    def add_constant(self, value: object, domain: AbstractDomain) -> None:
+        """Declare ``value`` (of ``domain``) as known to the configuration."""
+        self._constants.add((value, domain))
+
+    def with_constants(
+        self, constants: Iterable[Tuple[object, AbstractDomain]]
+    ) -> "Configuration":
+        """Return a copy of the configuration with extra seed constants."""
+        clone = self.copy()
+        for value, domain in constants:
+            clone.add_constant(value, domain)
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # Overrides
+    # ------------------------------------------------------------------ #
+    def active_domain(self) -> FrozenSet[Tuple[object, AbstractDomain]]:
+        """Active domain of the facts plus the seed constants."""
+        return super().active_domain() | frozenset(self._constants)
+
+    def copy(self) -> "Configuration":
+        """A deep copy (sharing the schema)."""
+        clone = Configuration(self.schema)
+        for fact in self.facts():
+            clone.add_fact(fact)
+        clone._constants = set(self._constants)
+        return clone
+
+    def union(self, other: Instance) -> "Configuration":
+        """A new configuration with the facts (and constants) of both operands."""
+        merged = self.copy()
+        for fact in other.facts():
+            merged.add_fact(fact)
+        if isinstance(other, Configuration):
+            merged._constants |= other._constants
+        return merged
+
+    def extended_with(self, facts: Iterable[Fact]) -> "Configuration":
+        """A new configuration with extra facts added (non-destructive)."""
+        clone = self.copy()
+        clone.add_all(facts)
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # Consistency
+    # ------------------------------------------------------------------ #
+    def is_consistent_with(self, instance: Instance) -> bool:
+        """Whether this configuration is a sub-instance of ``instance``."""
+        return self.issubset(instance)
+
+    def check_consistent_with(self, instance: Instance) -> None:
+        """Raise :class:`~repro.exceptions.ConsistencyError` if inconsistent."""
+        if not self.is_consistent_with(instance):
+            missing = [fact for fact in self.facts() if fact not in instance]
+            raise ConsistencyError(
+                f"configuration is not consistent with the instance; "
+                f"{len(missing)} fact(s) of the configuration are absent, "
+                f"e.g. {missing[0]!r}"
+            )
+
+    @staticmethod
+    def empty(schema: Schema) -> "Configuration":
+        """The empty configuration over ``schema``."""
+        return Configuration(schema)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        base = super().__repr__()
+        return base.replace("Instance", "Configuration", 1)

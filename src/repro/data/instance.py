@@ -1,0 +1,201 @@
+"""Database instances and facts.
+
+An *instance* assigns a finite set of tuples to every relation of a schema.
+Instances play two roles in the paper and in this library:
+
+* the *source instance* ``I``: the hidden content of the data sources, only
+  observable through accesses;
+* *configurations* (see :mod:`repro.data.configuration`): the part of ``I``
+  already revealed by past accesses.  A configuration is itself an instance,
+  with extra bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from repro.exceptions import SchemaError
+from repro.schema import AbstractDomain, Relation, Schema
+
+__all__ = ["Fact", "Instance"]
+
+
+@dataclass(frozen=True)
+class Fact:
+    """A ground fact: a relation name together with a tuple of values."""
+
+    relation: str
+    values: Tuple[object, ...]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        rendered = ", ".join(repr(value) for value in self.values)
+        return f"{self.relation}({rendered})"
+
+
+class Instance:
+    """A finite relational instance over a schema.
+
+    The instance validates arity (and enumerated-domain membership) of every
+    tuple it stores.  Tuples are stored as plain Python tuples; the abstract
+    domain of a value is implied by the place it occupies.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        facts: Union[Mapping[str, Iterable[Sequence[object]]], Iterable[Fact], None] = None,
+    ) -> None:
+        self._schema = schema
+        self._tuples: Dict[str, Set[Tuple[object, ...]]] = {
+            relation.name: set() for relation in schema.relations
+        }
+        if facts is None:
+            return
+        if isinstance(facts, Mapping):
+            for relation_name, rows in facts.items():
+                for row in rows:
+                    self.add(relation_name, row)
+        else:
+            for fact in facts:
+                self.add(fact.relation, fact.values)
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def schema(self) -> Schema:
+        """The schema this instance is defined over."""
+        return self._schema
+
+    def tuples(self, relation: Union[str, Relation]) -> FrozenSet[Tuple[object, ...]]:
+        """The set of tuples currently stored for ``relation``."""
+        name = relation if isinstance(relation, str) else relation.name
+        if name not in self._tuples:
+            raise SchemaError(f"unknown relation {name!r}")
+        return frozenset(self._tuples[name])
+
+    def facts(self) -> Iterator[Fact]:
+        """Iterate over all facts of the instance."""
+        for relation_name in self._tuples:
+            for values in sorted(self._tuples[relation_name], key=repr):
+                yield Fact(relation_name, values)
+
+    def contains(self, relation: Union[str, Relation], values: Sequence[object]) -> bool:
+        """Whether ``relation(values)`` is a fact of the instance."""
+        name = relation if isinstance(relation, str) else relation.name
+        if name not in self._tuples:
+            raise SchemaError(f"unknown relation {name!r}")
+        return tuple(values) in self._tuples[name]
+
+    def __contains__(self, fact: Fact) -> bool:
+        return self.contains(fact.relation, fact.values)
+
+    def size(self) -> int:
+        """Total number of facts."""
+        return sum(len(rows) for rows in self._tuples.values())
+
+    def __len__(self) -> int:
+        return self.size()
+
+    def is_empty(self) -> bool:
+        """Whether the instance has no facts at all."""
+        return self.size() == 0
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add(self, relation: Union[str, Relation], values: Sequence[object]) -> bool:
+        """Add a fact, returning ``True`` if it was new."""
+        name = relation if isinstance(relation, str) else relation.name
+        rel = self._schema.relation(name)
+        row = tuple(values)
+        rel.check_values(row)
+        if row in self._tuples[name]:
+            return False
+        self._tuples[name].add(row)
+        return True
+
+    def add_fact(self, fact: Fact) -> bool:
+        """Add a :class:`Fact`, returning ``True`` if it was new."""
+        return self.add(fact.relation, fact.values)
+
+    def add_all(self, facts: Iterable[Fact]) -> int:
+        """Add many facts; return how many were new."""
+        return sum(1 for fact in facts if self.add_fact(fact))
+
+    def remove(self, relation: Union[str, Relation], values: Sequence[object]) -> bool:
+        """Remove a fact, returning ``True`` if it was present."""
+        name = relation if isinstance(relation, str) else relation.name
+        if name not in self._tuples:
+            raise SchemaError(f"unknown relation {name!r}")
+        row = tuple(values)
+        if row in self._tuples[name]:
+            self._tuples[name].remove(row)
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Set-like operations
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "Instance":
+        """A deep copy (sharing the schema)."""
+        clone = Instance(self._schema)
+        for relation_name, rows in self._tuples.items():
+            clone._tuples[relation_name] = set(rows)
+        return clone
+
+    def union(self, other: "Instance") -> "Instance":
+        """A new instance containing the facts of both instances."""
+        merged = self.copy()
+        for fact in other.facts():
+            merged.add_fact(fact)
+        return merged
+
+    def issubset(self, other: "Instance") -> bool:
+        """Whether every fact of this instance is in ``other``."""
+        for relation_name, rows in self._tuples.items():
+            if not rows <= other._tuples.get(relation_name, set()):
+                return False
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instance):
+            return NotImplemented
+        return self._tuples == other._tuples
+
+    def __hash__(self) -> int:  # pragma: no cover - instances are mutable
+        raise TypeError("Instance objects are mutable and unhashable")
+
+    # ------------------------------------------------------------------ #
+    # Active domain
+    # ------------------------------------------------------------------ #
+    def active_domain(self) -> FrozenSet[Tuple[object, AbstractDomain]]:
+        """Constants appearing in the instance, paired with their abstract domains.
+
+        Following the paper, the active domain is a set of pairs
+        ``(value, domain)``: the same value occurring at attributes of two
+        different domains yields two entries.
+        """
+        pairs: Set[Tuple[object, AbstractDomain]] = set()
+        for relation_name, rows in self._tuples.items():
+            relation = self._schema.relation(relation_name)
+            for row in rows:
+                for place, value in enumerate(row):
+                    pairs.add((value, relation.domain_of(place)))
+        return frozenset(pairs)
+
+    def active_values(self, domain: Optional[AbstractDomain] = None) -> FrozenSet[object]:
+        """Values of the active domain, optionally restricted to one domain."""
+        if domain is None:
+            return frozenset(value for value, _ in self.active_domain())
+        return frozenset(
+            value for value, dom in self.active_domain() if dom == domain
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = []
+        for relation_name, rows in self._tuples.items():
+            if rows:
+                parts.append(f"{relation_name}:{len(rows)}")
+        return f"Instance({', '.join(parts) or 'empty'})"

@@ -1,0 +1,25 @@
+"""Datalog substrate: semi-naive engine and the accessible-part construction."""
+
+from repro.datalog.accessible import (
+    accessible_part,
+    accessible_program,
+    accessible_values,
+    domain_predicate,
+    relation_predicate,
+)
+from repro.datalog.engine import Database, evaluate_program, query_database
+from repro.datalog.program import Literal, Program, Rule
+
+__all__ = [
+    "Literal",
+    "Rule",
+    "Program",
+    "Database",
+    "evaluate_program",
+    "query_database",
+    "accessible_program",
+    "accessible_part",
+    "accessible_values",
+    "domain_predicate",
+    "relation_predicate",
+]

@@ -1,0 +1,149 @@
+"""Semi-naive bottom-up evaluation of Datalog programs.
+
+The engine works on a *database*: a mapping from predicate names to sets of
+ground tuples.  Extensional facts are supplied by the caller; evaluation
+returns the least fixpoint extending them with every derivable intensional
+fact.  The implementation is the classic semi-naive loop: each iteration only
+joins rule bodies against at least one *delta* (newly derived) literal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+from repro.datalog.program import Literal, Program, Rule
+from repro.queries.terms import Variable, is_variable
+
+__all__ = ["Database", "evaluate_program", "query_database"]
+
+Database = Dict[str, Set[Tuple[object, ...]]]
+
+
+def _match_literal(
+    literal: Literal,
+    database: Mapping[str, Set[Tuple[object, ...]]],
+    assignment: Dict[Variable, object],
+    restriction: Optional[Set[Tuple[object, ...]]] = None,
+) -> Iterator[Dict[Variable, object]]:
+    """Extend ``assignment`` so that ``literal`` matches a database fact.
+
+    ``restriction`` (when given) limits matching to a subset of the
+    predicate's tuples — this is how the delta relation of the semi-naive
+    algorithm is plugged in.
+    """
+    rows = restriction if restriction is not None else database.get(literal.predicate, set())
+    # Copy before iterating: callers add newly derived facts to the same sets
+    # while derivations are being enumerated.
+    for row in tuple(rows):
+        if len(row) != literal.arity:
+            continue
+        extension = dict(assignment)
+        matched = True
+        for term, value in zip(literal.terms, row):
+            if is_variable(term):
+                bound = extension.get(term, _UNBOUND)
+                if bound is _UNBOUND:
+                    extension[term] = value
+                elif bound != value:
+                    matched = False
+                    break
+            elif term != value:
+                matched = False
+                break
+        if matched:
+            yield extension
+
+
+_UNBOUND = object()
+
+
+def _rule_derivations(
+    rule: Rule,
+    database: Mapping[str, Set[Tuple[object, ...]]],
+    delta: Optional[Mapping[str, Set[Tuple[object, ...]]]] = None,
+) -> Iterator[Tuple[object, ...]]:
+    """Yield head tuples derivable by ``rule``.
+
+    When ``delta`` is given, only derivations using at least one delta fact
+    are produced (semi-naive restriction); this is implemented by requiring,
+    for some body position ``i``, that literal ``i`` matches within the delta
+    while earlier literals match the full database.
+    """
+    if rule.is_fact:
+        yield rule.head.ground_values({})
+        return
+
+    positions = range(len(rule.body)) if delta is not None else [None]
+    for delta_position in positions:
+        def backtrack(index: int, assignment: Dict[Variable, object]) -> Iterator[Dict[Variable, object]]:
+            if index == len(rule.body):
+                yield assignment
+                return
+            literal = rule.body[index]
+            restriction = None
+            if delta is not None and index == delta_position:
+                restriction = delta.get(literal.predicate, set())
+            yield from (
+                result
+                for extension in _match_literal(literal, database, assignment, restriction)
+                for result in backtrack(index + 1, extension)
+            )
+
+        for assignment in backtrack(0, {}):
+            yield rule.head.ground_values(assignment)
+
+
+def evaluate_program(
+    program: Program,
+    edb: Mapping[str, Iterable[Tuple[object, ...]]],
+) -> Database:
+    """Compute the least fixpoint of ``program`` over the extensional facts.
+
+    Returns a new database containing the extensional facts plus every
+    derived intensional fact.
+    """
+    database: Database = {
+        predicate: {tuple(row) for row in rows} for predicate, rows in edb.items()
+    }
+
+    # Naive first round (facts and rules applied once over the EDB).
+    delta: Dict[str, Set[Tuple[object, ...]]] = {}
+    for rule in program:
+        for derived in _rule_derivations(rule, database):
+            existing = database.setdefault(rule.head.predicate, set())
+            if derived not in existing:
+                existing.add(derived)
+                delta.setdefault(rule.head.predicate, set()).add(derived)
+
+    # Semi-naive iterations.
+    while delta:
+        new_delta: Dict[str, Set[Tuple[object, ...]]] = {}
+        for rule in program:
+            if rule.is_fact:
+                continue
+            body_predicates = {literal.predicate for literal in rule.body}
+            if not body_predicates & set(delta):
+                continue
+            for derived in _rule_derivations(rule, database, delta):
+                existing = database.setdefault(rule.head.predicate, set())
+                if derived not in existing:
+                    existing.add(derived)
+                    new_delta.setdefault(rule.head.predicate, set()).add(derived)
+        delta = new_delta
+    return database
+
+
+def query_database(
+    database: Mapping[str, Set[Tuple[object, ...]]],
+    goal: Literal,
+) -> FrozenSet[Tuple[object, ...]]:
+    """Answers to a single-literal goal over an evaluated database.
+
+    Returns the projections of matching facts on the goal's variables, in
+    first-occurrence order of the variables.
+    """
+    answers: Set[Tuple[object, ...]] = set()
+    goal_variables = goal.variables
+    for assignment in _match_literal(goal, database, {}):
+        answers.add(tuple(assignment[variable] for variable in goal_variables))
+    return frozenset(answers)

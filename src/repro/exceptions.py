@@ -1,0 +1,53 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single exception type at API boundaries.  More specific subclasses
+exist for schema validation, query construction, access semantics, and search
+budget exhaustion.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the :mod:`repro` library."""
+
+
+class SchemaError(ReproError):
+    """A schema, relation, attribute, or access method is ill-formed."""
+
+
+class QueryError(ReproError):
+    """A query is syntactically or semantically ill-formed.
+
+    Examples: an atom whose arity does not match its relation, a shared
+    variable used at attributes with different abstract domains, or a parse
+    failure in :func:`repro.queries.parser.parse_query`.
+    """
+
+
+class AccessError(ReproError):
+    """An access violates the access-method semantics of the paper.
+
+    Raised, for instance, when a dependent access is attempted with a binding
+    value that is not in the active domain of the current configuration, or
+    when a response contains tuples that do not match the binding.
+    """
+
+
+class ConsistencyError(ReproError):
+    """A configuration is not consistent with the instance it should reflect."""
+
+
+class SearchBudgetExceeded(ReproError):
+    """A bounded decision procedure exhausted its search budget.
+
+    The containment and long-term relevance problems have exponential witness
+    bounds; the procedures in :mod:`repro.core` accept explicit budgets and
+    raise this exception (rather than silently answering) when a definitive
+    answer could not be established within the budget.
+    """
+
+    def __init__(self, message: str, *, explored: int = 0) -> None:
+        super().__init__(message)
+        self.explored = explored

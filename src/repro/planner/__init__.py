@@ -1,0 +1,27 @@
+"""Query answering under access limitations: static plans, inverse rules,
+and dynamic (exhaustive vs. relevance-guided) strategies."""
+
+from repro.planner.dynamic import (
+    AnsweringResult,
+    exhaustive_strategy,
+    relevance_guided_strategy,
+)
+from repro.planner.inverse_rules import maximally_contained_answers, query_plan_program
+from repro.planner.static_plans import (
+    ExecutablePlan,
+    PlanStep,
+    find_executable_order,
+    is_feasible,
+)
+
+__all__ = [
+    "PlanStep",
+    "ExecutablePlan",
+    "find_executable_order",
+    "is_feasible",
+    "query_plan_program",
+    "maximally_contained_answers",
+    "AnsweringResult",
+    "exhaustive_strategy",
+    "relevance_guided_strategy",
+]

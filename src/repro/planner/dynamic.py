@@ -1,0 +1,182 @@
+"""Dynamic query answering: exhaustive vs. relevance-guided access strategies.
+
+This is the application layer that motivates the paper.  A mediator holds a
+configuration that grows with every access; the question at each step is
+*which access to make next*:
+
+* the **exhaustive** strategy (the recursive enumeration of Li [18], built on
+  the inverse-rules idea) performs every well-formed access it has not made
+  yet, until no access returns anything new — it retrieves the full
+  accessible part of the sources;
+* the **relevance-guided** strategies only perform accesses that are
+  immediately relevant, long-term relevant, or both, for the query at the
+  current configuration, and stop as soon as the (Boolean) query becomes
+  certain.
+
+All strategies return an :class:`AnsweringResult` recording the answers, the
+number of accesses made, and the number of facts retrieved, so they can be
+compared head to head in ``benchmarks/bench_dynamic_answering.py``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.core import ContainmentOptions, is_immediately_relevant, is_long_term_relevant
+from repro.data import Configuration
+from repro.exceptions import QueryError
+from repro.queries import certain_answers, evaluate_boolean, is_certain
+from repro.schema import Access, Schema
+from repro.sources.service import Mediator
+
+__all__ = ["AnsweringResult", "exhaustive_strategy", "relevance_guided_strategy"]
+
+
+@dataclass(frozen=True)
+class AnsweringResult:
+    """Outcome of a dynamic answering run."""
+
+    answers: FrozenSet[Tuple[object, ...]]
+    accesses_made: int
+    facts_retrieved: int
+    relevance_checks: int = 0
+
+    @property
+    def boolean_answer(self) -> bool:
+        """Boolean reading of the answer set (true iff non-empty)."""
+        return bool(self.answers)
+
+
+def _candidate_accesses(
+    schema: Schema,
+    configuration: Configuration,
+    performed: Set[Tuple[str, Tuple[object, ...]]],
+) -> List[Access]:
+    """Well-formed accesses (dependent bindings from the active domain) not yet made."""
+    candidates: List[Access] = []
+    adom = configuration.active_domain()
+    for method in schema.access_methods:
+        pools: List[List[object]] = []
+        feasible = True
+        for place in method.input_places:
+            domain = method.relation.domain_of(place)
+            values = sorted(
+                {value for value, dom in adom if dom == domain}, key=repr
+            )
+            if not values:
+                feasible = False
+                break
+            pools.append(values)
+        if not feasible:
+            continue
+        for binding in itertools.product(*pools) if pools else [()]:
+            key = (method.name, tuple(binding))
+            if key in performed:
+                continue
+            candidates.append(Access(method, tuple(binding)))
+    return candidates
+
+
+def _run(
+    mediator: Mediator,
+    query,
+    should_perform: Callable[[Access, Configuration], bool],
+    *,
+    stop_when_certain: bool,
+    max_rounds: int = 50,
+) -> AnsweringResult:
+    performed: Set[Tuple[str, Tuple[object, ...]]] = set()
+    relevance_checks = 0
+    facts_before = len(mediator.configuration)
+
+    def done(configuration: Configuration) -> bool:
+        return (
+            stop_when_certain
+            and query.is_boolean
+            and is_certain(query, configuration)
+        )
+
+    for _round in range(max_rounds):
+        configuration = mediator.configuration
+        if done(configuration):
+            break
+        candidates = _candidate_accesses(mediator.schema, configuration, performed)
+        progressed = False
+        for access in candidates:
+            current = mediator.configuration
+            if done(current):
+                break
+            relevance_checks += 1
+            if not should_perform(access, current):
+                continue
+            response = mediator.perform(access)
+            performed.add((access.method.name, tuple(access.binding)))
+            if len(response) > 0:
+                progressed = True
+        if not progressed or done(mediator.configuration):
+            break
+
+    final_configuration = mediator.configuration
+    answers = certain_answers(query, final_configuration)
+    return AnsweringResult(
+        answers=answers,
+        accesses_made=mediator.access_count,
+        facts_retrieved=len(final_configuration) - facts_before,
+        relevance_checks=relevance_checks,
+    )
+
+
+def exhaustive_strategy(
+    mediator: Mediator, query, *, max_rounds: int = 50
+) -> AnsweringResult:
+    """Perform every well-formed access until a fixpoint (Li [18])."""
+    return _run(
+        mediator,
+        query,
+        lambda _access, _configuration: True,
+        stop_when_certain=False,
+        max_rounds=max_rounds,
+    )
+
+
+def relevance_guided_strategy(
+    mediator: Mediator,
+    query,
+    *,
+    use_immediate: bool = False,
+    use_long_term: bool = True,
+    options: Optional[ContainmentOptions] = None,
+    max_rounds: int = 50,
+) -> AnsweringResult:
+    """Only perform accesses that are relevant for the query.
+
+    ``use_long_term`` filters accesses through
+    :func:`repro.core.is_long_term_relevant`; ``use_immediate`` additionally
+    (or alternatively) requires immediate relevance.  For Boolean queries the
+    run stops as soon as the query becomes certain.
+    """
+    if not use_immediate and not use_long_term:
+        raise QueryError("at least one relevance notion must be enabled")
+    schema = mediator.schema
+    boolean_query = query if query.is_boolean else query.boolean_closure()
+
+    def should_perform(access: Access, configuration: Configuration) -> bool:
+        if use_long_term and not is_long_term_relevant(
+            boolean_query, access, configuration, schema, options=options
+        ):
+            return False
+        if use_immediate and not is_immediately_relevant(
+            boolean_query, access, configuration
+        ):
+            return False
+        return True
+
+    return _run(
+        mediator,
+        query,
+        should_perform,
+        stop_when_certain=True,
+        max_rounds=max_rounds,
+    )

@@ -1,0 +1,33 @@
+"""Certain answers over configurations (Section 2, "Immediate relevance").
+
+For a configuration ``Conf`` and a query ``Q``, a tuple ``t`` is a *certain
+answer* if ``t`` belongs to ``Q(I)`` for every instance ``I`` consistent with
+``Conf`` (i.e. every ``I`` containing ``Conf``).  Because the query languages
+of the paper (conjunctive and positive queries) are *monotone*, and ``Conf``
+itself is the smallest consistent instance, the certain answers at ``Conf``
+are exactly ``Q(Conf)``.  This module packages that observation behind an
+explicit API so that the decision procedures read like the paper.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Tuple
+
+from repro.data import Configuration
+from repro.queries.evaluation import Query, evaluate, evaluate_boolean
+
+__all__ = ["certain_answers", "is_certain"]
+
+
+def certain_answers(query: Query, configuration: Configuration) -> FrozenSet[Tuple[object, ...]]:
+    """The certain answers of ``query`` at ``configuration``.
+
+    For monotone queries this equals the evaluation of the query over the
+    configuration seen as an instance.
+    """
+    return evaluate(query, configuration)
+
+
+def is_certain(query: Query, configuration: Configuration) -> bool:
+    """Whether a Boolean query is certain (true) at the configuration."""
+    return evaluate_boolean(query, configuration)

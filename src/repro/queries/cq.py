@@ -1,0 +1,266 @@
+"""Conjunctive queries (CQs).
+
+A conjunctive query is a conjunction of atoms with an (optionally empty) tuple
+of free variables; all other variables are implicitly existentially
+quantified.  Boolean queries have no free variables.  The paper's domain
+discipline — a variable shared across subgoals must always occupy attributes
+of the same abstract domain — is enforced at construction time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import QueryError
+from repro.queries.atoms import Atom
+from repro.queries.terms import Term, Variable, is_variable
+from repro.schema import AbstractDomain, Relation
+
+__all__ = ["ConjunctiveQuery"]
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A conjunctive query: a tuple of atoms and a tuple of free variables."""
+
+    atoms: Tuple[Atom, ...]
+    free_variables: Tuple[Variable, ...] = ()
+    name: str = field(default="Q", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.atoms:
+            raise QueryError("a conjunctive query needs at least one atom")
+        all_vars = set(self.variables)
+        for variable in self.free_variables:
+            if variable not in all_vars:
+                raise QueryError(
+                    f"free variable {variable!r} does not occur in any atom"
+                )
+        self._check_domain_consistency()
+
+    def _check_domain_consistency(self) -> None:
+        domains: Dict[Variable, AbstractDomain] = {}
+        for atom in self.atoms:
+            for place, term in enumerate(atom.terms):
+                if not is_variable(term):
+                    continue
+                domain = atom.relation.domain_of(place)
+                previous = domains.get(term)
+                if previous is None:
+                    domains[term] = domain
+                elif previous != domain:
+                    raise QueryError(
+                        f"variable {term!r} occurs at attributes of different "
+                        f"abstract domains ({previous.name!r} and {domain.name!r})"
+                    )
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def make(
+        atoms: Sequence[Atom],
+        free_variables: Sequence[Variable] = (),
+        name: str = "Q",
+    ) -> "ConjunctiveQuery":
+        """Build a query from sequences (tuples are made internally)."""
+        return ConjunctiveQuery(tuple(atoms), tuple(free_variables), name)
+
+    # ------------------------------------------------------------------ #
+    # Structure
+    # ------------------------------------------------------------------ #
+    @property
+    def variables(self) -> Tuple[Variable, ...]:
+        """All variables, deduplicated, in first-occurrence order."""
+        seen: List[Variable] = []
+        for atom in self.atoms:
+            for variable in atom.variables:
+                if variable not in seen:
+                    seen.append(variable)
+        return tuple(seen)
+
+    @property
+    def existential_variables(self) -> Tuple[Variable, ...]:
+        """Variables that are not free."""
+        free = set(self.free_variables)
+        return tuple(variable for variable in self.variables if variable not in free)
+
+    @property
+    def constants(self) -> Tuple[object, ...]:
+        """All constants, deduplicated, in first-occurrence order."""
+        seen: List[object] = []
+        for atom in self.atoms:
+            for constant in atom.constants:
+                if constant not in seen:
+                    seen.append(constant)
+        return tuple(seen)
+
+    def constants_with_domains(self) -> FrozenSet[Tuple[object, AbstractDomain]]:
+        """Constants paired with the abstract domains of the places they occupy."""
+        pairs: Set[Tuple[object, AbstractDomain]] = set()
+        for atom in self.atoms:
+            for place, term in enumerate(atom.terms):
+                if not is_variable(term):
+                    pairs.add((term, atom.relation.domain_of(place)))
+        return frozenset(pairs)
+
+    @property
+    def is_boolean(self) -> bool:
+        """Whether the query has no free variables."""
+        return not self.free_variables
+
+    @property
+    def arity(self) -> int:
+        """Number of free variables (the output arity)."""
+        return len(self.free_variables)
+
+    def relations(self) -> Tuple[Relation, ...]:
+        """Relations mentioned by the query, deduplicated."""
+        seen: List[Relation] = []
+        for atom in self.atoms:
+            if atom.relation not in seen:
+                seen.append(atom.relation)
+        return tuple(seen)
+
+    def relation_names(self) -> FrozenSet[str]:
+        """Names of the relations mentioned by the query."""
+        return frozenset(atom.relation.name for atom in self.atoms)
+
+    def atoms_over(self, relation_name: str) -> Tuple[Atom, ...]:
+        """Atoms of the query whose relation is called ``relation_name``."""
+        return tuple(
+            atom for atom in self.atoms if atom.relation.name == relation_name
+        )
+
+    def occurrences(self, relation_name: str) -> int:
+        """How many subgoals use the relation called ``relation_name``."""
+        return len(self.atoms_over(relation_name))
+
+    def variable_domains(self) -> Dict[Variable, AbstractDomain]:
+        """Map each variable to its (unique) abstract domain."""
+        domains: Dict[Variable, AbstractDomain] = {}
+        for atom in self.atoms:
+            domains.update(
+                {
+                    variable: domain
+                    for variable, domain in atom.variable_domains().items()
+                    if variable not in domains
+                }
+            )
+        return domains
+
+    def output_domains(self) -> Tuple[AbstractDomain, ...]:
+        """Abstract domains of the free variables, in order."""
+        domains = self.variable_domains()
+        return tuple(domains[variable] for variable in self.free_variables)
+
+    # ------------------------------------------------------------------ #
+    # Connectivity (used by Proposition 4.3)
+    # ------------------------------------------------------------------ #
+    def connected_components(self) -> Tuple[Tuple[Atom, ...], ...]:
+        """Partition the subgoals into connected components of the query graph.
+
+        Two subgoals are connected when they share a variable (Gaifman graph
+        on subgoals).  Ground atoms form singleton components.
+        """
+        remaining = list(range(len(self.atoms)))
+        components: List[Tuple[Atom, ...]] = []
+        while remaining:
+            frontier = [remaining.pop(0)]
+            component = set(frontier)
+            while frontier:
+                index = frontier.pop()
+                atom_vars = set(self.atoms[index].variables)
+                still_left = []
+                for other in remaining:
+                    if atom_vars & set(self.atoms[other].variables):
+                        component.add(other)
+                        frontier.append(other)
+                    else:
+                        still_left.append(other)
+                remaining = still_left
+            components.append(tuple(self.atoms[index] for index in sorted(component)))
+        return tuple(components)
+
+    def is_connected(self) -> bool:
+        """Whether the query graph has a single connected component."""
+        return len(self.connected_components()) <= 1
+
+    # ------------------------------------------------------------------ #
+    # Transformations
+    # ------------------------------------------------------------------ #
+    def substitute(self, assignment: Mapping[Variable, Term]) -> "ConjunctiveQuery":
+        """Apply a (possibly partial) substitution to every atom.
+
+        Free variables that get substituted by constants are dropped from the
+        free-variable tuple.
+        """
+        new_atoms = tuple(atom.substitute(assignment) for atom in self.atoms)
+        new_free = tuple(
+            assignment.get(variable, variable)
+            for variable in self.free_variables
+        )
+        kept_free = tuple(term for term in new_free if is_variable(term))
+        return ConjunctiveQuery(new_atoms, kept_free, self.name)
+
+    def rename_apart(self, suffix: str) -> "ConjunctiveQuery":
+        """Rename every variable by appending ``suffix`` (for disjoint unions)."""
+        renaming = {
+            variable: Variable(variable.name + suffix) for variable in self.variables
+        }
+        return self.substitute(renaming)
+
+    def conjoin(self, other: "ConjunctiveQuery", name: Optional[str] = None) -> "ConjunctiveQuery":
+        """The conjunction of two queries (free variables are concatenated)."""
+        free = list(self.free_variables)
+        for variable in other.free_variables:
+            if variable not in free:
+                free.append(variable)
+        return ConjunctiveQuery(
+            self.atoms + other.atoms, tuple(free), name or self.name
+        )
+
+    def without_atoms(self, atoms: Iterable[Atom]) -> "ConjunctiveQuery":
+        """The query with the given subgoals removed (must stay non-empty)."""
+        dropped = list(atoms)
+        kept = [atom for atom in self.atoms if atom not in dropped]
+        if not kept:
+            raise QueryError("cannot remove every subgoal of a conjunctive query")
+        free = tuple(
+            variable
+            for variable in self.free_variables
+            if any(variable in atom.variables for atom in kept)
+        )
+        return ConjunctiveQuery(tuple(kept), free, self.name)
+
+    def boolean_closure(self) -> "ConjunctiveQuery":
+        """The Boolean query obtained by dropping all free variables."""
+        return ConjunctiveQuery(self.atoms, (), self.name)
+
+    # ------------------------------------------------------------------ #
+    # Canonical instance (freezing)
+    # ------------------------------------------------------------------ #
+    def frozen_facts(self, prefix: str = "_frozen_") -> Tuple[Tuple[str, Tuple[object, ...]], ...]:
+        """The canonical-database facts of the query.
+
+        Every variable ``x`` is replaced by the fresh constant ``prefix + x``.
+        Used by the classical containment test and by several reductions.
+        """
+        assignment = {
+            variable: f"{prefix}{variable.name}" for variable in self.variables
+        }
+        facts = []
+        for atom in self.atoms:
+            facts.append((atom.relation.name, atom.ground_values(assignment)))
+        return tuple(facts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        head = (
+            f"{self.name}({', '.join(v.name for v in self.free_variables)})"
+            if self.free_variables
+            else f"{self.name}()"
+        )
+        body = " & ".join(repr(atom) for atom in self.atoms)
+        return f"{head} :- {body}"

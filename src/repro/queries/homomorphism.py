@@ -1,0 +1,201 @@
+"""Homomorphism search: the engine underneath evaluation and containment.
+
+A homomorphism from a set of atoms into a fact store is an assignment of the
+variables to values such that every atom, once ground, is a fact of the store.
+The search is a backtracking join with a simple greedy atom ordering (most
+bound variables first, smallest relation first).
+
+The module also provides :class:`CanonicalInstance`, a lightweight fact store
+used for canonical databases of queries: unlike
+:class:`~repro.data.instance.Instance`, it skips domain validation, because
+frozen variables are fresh symbols that enumerated domains would reject.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from repro.queries.atoms import Atom
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.terms import Variable, is_variable
+
+__all__ = [
+    "CanonicalInstance",
+    "FactStore",
+    "find_homomorphisms",
+    "find_homomorphism",
+    "has_homomorphism",
+    "canonical_instance",
+    "freeze_query",
+]
+
+
+class CanonicalInstance:
+    """A minimal fact store: a mapping from relation names to sets of tuples.
+
+    Exposes the same ``tuples(relation_name)`` interface as
+    :class:`~repro.data.instance.Instance`, which is all the homomorphism
+    search needs.
+    """
+
+    def __init__(
+        self, facts: Optional[Mapping[str, Iterable[Tuple[object, ...]]]] = None
+    ) -> None:
+        self._tuples: Dict[str, Set[Tuple[object, ...]]] = {}
+        if facts:
+            for relation_name, rows in facts.items():
+                self._tuples[relation_name] = {tuple(row) for row in rows}
+
+    def add(self, relation_name: str, values: Sequence[object]) -> None:
+        """Add a fact without any validation."""
+        self._tuples.setdefault(relation_name, set()).add(tuple(values))
+
+    def tuples(self, relation: Union[str, object]) -> FrozenSet[Tuple[object, ...]]:
+        """Tuples stored for the relation (empty if unknown)."""
+        name = relation if isinstance(relation, str) else getattr(relation, "name")
+        return frozenset(self._tuples.get(name, set()))
+
+    def contains(self, relation_name: str, values: Sequence[object]) -> bool:
+        """Whether the fact is stored."""
+        return tuple(values) in self._tuples.get(relation_name, set())
+
+    def relation_names(self) -> FrozenSet[str]:
+        """Names of the relations having at least one fact."""
+        return frozenset(name for name, rows in self._tuples.items() if rows)
+
+    def size(self) -> int:
+        """Total number of facts."""
+        return sum(len(rows) for rows in self._tuples.values())
+
+    def copy(self) -> "CanonicalInstance":
+        """A shallow copy."""
+        return CanonicalInstance(self._tuples)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CanonicalInstance(size={self.size()})"
+
+
+#: Anything exposing ``tuples(relation_name_or_relation) -> iterable of tuples``.
+FactStore = object
+
+
+def _atom_order(atoms: Sequence[Atom], data: FactStore) -> List[Atom]:
+    """Greedy join order: prefer atoms with many already-bound variables."""
+    remaining = list(atoms)
+    ordered: List[Atom] = []
+    bound: Set[Variable] = set()
+    while remaining:
+        def score(atom: Atom) -> Tuple[int, int]:
+            unbound = sum(
+                1 for term in atom.terms if is_variable(term) and term not in bound
+            )
+            try:
+                relation_size = len(data.tuples(atom.relation.name))
+            except Exception:  # pragma: no cover - defensive
+                relation_size = 0
+            return (unbound, relation_size)
+
+        best = min(remaining, key=score)
+        remaining.remove(best)
+        ordered.append(best)
+        bound.update(best.variables)
+    return ordered
+
+
+def _match_atom(
+    atom: Atom, data: FactStore, assignment: Dict[Variable, object]
+) -> Iterator[Dict[Variable, object]]:
+    """Yield extensions of ``assignment`` making ``atom`` a fact of ``data``."""
+    rows = data.tuples(atom.relation.name)
+    for row in rows:
+        extension = dict(assignment)
+        matched = True
+        for place, term in enumerate(atom.terms):
+            value = row[place]
+            if is_variable(term):
+                bound_value = extension.get(term, _UNBOUND)
+                if bound_value is _UNBOUND:
+                    extension[term] = value
+                elif bound_value != value:
+                    matched = False
+                    break
+            elif term != value:
+                matched = False
+                break
+        if matched:
+            yield extension
+
+
+_UNBOUND = object()
+
+
+def find_homomorphisms(
+    atoms: Sequence[Atom],
+    data: FactStore,
+    partial: Optional[Mapping[Variable, object]] = None,
+    limit: Optional[int] = None,
+) -> Iterator[Dict[Variable, object]]:
+    """Enumerate homomorphisms of ``atoms`` into ``data``.
+
+    ``partial`` pre-binds some variables; ``limit`` stops the enumeration
+    after the given number of homomorphisms.
+    """
+    ordered = _atom_order(atoms, data)
+    initial: Dict[Variable, object] = dict(partial or {})
+    produced = 0
+
+    def backtrack(index: int, assignment: Dict[Variable, object]) -> Iterator[Dict[Variable, object]]:
+        if index == len(ordered):
+            yield dict(assignment)
+            return
+        for extension in _match_atom(ordered[index], data, assignment):
+            yield from backtrack(index + 1, extension)
+
+    for homomorphism in backtrack(0, initial):
+        yield homomorphism
+        produced += 1
+        if limit is not None and produced >= limit:
+            return
+
+
+def find_homomorphism(
+    atoms: Sequence[Atom],
+    data: FactStore,
+    partial: Optional[Mapping[Variable, object]] = None,
+) -> Optional[Dict[Variable, object]]:
+    """The first homomorphism found, or ``None``."""
+    for homomorphism in find_homomorphisms(atoms, data, partial, limit=1):
+        return homomorphism
+    return None
+
+
+def has_homomorphism(
+    atoms: Sequence[Atom],
+    data: FactStore,
+    partial: Optional[Mapping[Variable, object]] = None,
+) -> bool:
+    """Whether at least one homomorphism exists."""
+    return find_homomorphism(atoms, data, partial) is not None
+
+
+def freeze_query(
+    query: ConjunctiveQuery, prefix: str = "_frozen_"
+) -> Tuple[CanonicalInstance, Dict[Variable, object]]:
+    """Freeze a conjunctive query into its canonical instance.
+
+    Returns the canonical instance together with the assignment mapping each
+    variable to its frozen constant.
+    """
+    assignment = {
+        variable: f"{prefix}{variable.name}" for variable in query.variables
+    }
+    store = CanonicalInstance()
+    for atom in query.atoms:
+        store.add(atom.relation.name, atom.ground_values(assignment))
+    return store, assignment
+
+
+def canonical_instance(query: ConjunctiveQuery, prefix: str = "_frozen_") -> CanonicalInstance:
+    """The canonical instance (frozen body) of a conjunctive query."""
+    store, _ = freeze_query(query, prefix)
+    return store

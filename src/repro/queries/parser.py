@@ -1,0 +1,228 @@
+"""A small textual syntax for queries.
+
+The syntax is deliberately tiny — it exists so that examples and tests read
+like the paper:
+
+* **terms**: bare identifiers are variables (``x``, ``empId``); constants are
+  single- or double-quoted strings (``'Illinois'``) or numeric literals
+  (``3``, ``2.5``);
+* **atoms**: ``Relation(term, ..., term)``;
+* **conjunctive queries**: ``Q(x, y) :- R(x, z), S(z, y)``; the head may be
+  omitted for Boolean queries (``R(x, z), S(z, y)``);
+* **positive queries**: an expression over atoms with ``&`` (and), ``|``
+  (or), and parentheses, optionally with a head: ``Q() :- R(x) & (S(x) | T(x))``.
+
+:func:`parse_query` picks CQ or PQ automatically (a query containing ``|`` or
+parenthesised groups is parsed as a positive query).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import QueryError
+from repro.queries.atoms import Atom
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.pq import AndNode, AtomNode, OrNode, PQNode, PositiveQuery
+from repro.queries.terms import Term, Variable
+from repro.schema import Schema
+
+__all__ = ["parse_atom", "parse_cq", "parse_pq", "parse_query"]
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    \s*(
+        :-                     |   # rule separator
+        [(),&|]                |   # punctuation
+        '[^']*'                |   # single-quoted constant
+        "[^"]*"                |   # double-quoted constant
+        -?\d+\.\d+             |   # float literal
+        -?\d+                  |   # integer literal
+        [A-Za-z_][A-Za-z_0-9]*     # identifier
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None:
+            if text[position:].strip() == "":
+                break
+            raise QueryError(f"cannot tokenize query text at: {text[position:]!r}")
+        tokens.append(match.group(1))
+        position = match.end()
+    return tokens
+
+
+class _TokenStream:
+    def __init__(self, tokens: Sequence[str]) -> None:
+        self._tokens = list(tokens)
+        self._index = 0
+
+    def peek(self) -> Optional[str]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise QueryError("unexpected end of query text")
+        self._index += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        found = self.next()
+        if found != token:
+            raise QueryError(f"expected {token!r} but found {found!r}")
+
+    def exhausted(self) -> bool:
+        return self._index >= len(self._tokens)
+
+
+def _parse_term(token: str) -> Term:
+    if token.startswith(("'", '"')):
+        return token[1:-1]
+    if re.fullmatch(r"-?\d+", token):
+        return int(token)
+    if re.fullmatch(r"-?\d+\.\d+", token):
+        return float(token)
+    return Variable(token)
+
+
+def _parse_atom(stream: _TokenStream, schema: Schema) -> Atom:
+    relation_name = stream.next()
+    relation = schema.relation(relation_name)
+    stream.expect("(")
+    terms: List[Term] = []
+    if stream.peek() == ")":
+        stream.next()
+        return Atom(relation, tuple(terms))
+    while True:
+        terms.append(_parse_term(stream.next()))
+        token = stream.next()
+        if token == ")":
+            break
+        if token != ",":
+            raise QueryError(f"expected ',' or ')' in atom, found {token!r}")
+    return Atom(relation, tuple(terms))
+
+
+def parse_atom(schema: Schema, text: str) -> Atom:
+    """Parse a single atom such as ``"Employee(x, 'loan officer', o)"``."""
+    stream = _TokenStream(_tokenize(text))
+    atom = _parse_atom(stream, schema)
+    if not stream.exhausted():
+        raise QueryError(f"trailing tokens after atom: {stream.peek()!r}")
+    return atom
+
+
+def _parse_head(stream: _TokenStream) -> Tuple[str, Tuple[Variable, ...]]:
+    """Parse ``Name(x, y)`` followed by ``:-``; caller checks it is a head."""
+    name = stream.next()
+    stream.expect("(")
+    variables: List[Variable] = []
+    if stream.peek() != ")":
+        while True:
+            term = _parse_term(stream.next())
+            if not isinstance(term, Variable):
+                raise QueryError("query heads may only contain variables")
+            variables.append(term)
+            token = stream.next()
+            if token == ")":
+                break
+            if token != ",":
+                raise QueryError(f"expected ',' or ')' in head, found {token!r}")
+    else:
+        stream.next()
+    stream.expect(":-")
+    return name, tuple(variables)
+
+
+def _split_head(text: str) -> Tuple[Optional[str], str]:
+    if ":-" in text:
+        head, body = text.split(":-", 1)
+        return head.strip(), body.strip()
+    return None, text.strip()
+
+
+def parse_cq(schema: Schema, text: str, name: str = "Q") -> ConjunctiveQuery:
+    """Parse a conjunctive query (comma- or ``&``-separated atoms)."""
+    head_text, body_text = _split_head(text)
+    free: Tuple[Variable, ...] = ()
+    if head_text is not None:
+        head_stream = _TokenStream(_tokenize(head_text + " :- "))
+        name, free = _parse_head(head_stream)
+    stream = _TokenStream(_tokenize(body_text))
+    atoms: List[Atom] = []
+    while True:
+        atoms.append(_parse_atom(stream, schema))
+        if stream.exhausted():
+            break
+        separator = stream.next()
+        if separator not in (",", "&"):
+            raise QueryError(
+                f"expected ',' or '&' between atoms, found {separator!r}"
+            )
+    return ConjunctiveQuery(tuple(atoms), free, name)
+
+
+def _parse_pq_expression(stream: _TokenStream, schema: Schema) -> PQNode:
+    node = _parse_pq_conjunction(stream, schema)
+    children = [node]
+    while stream.peek() == "|":
+        stream.next()
+        children.append(_parse_pq_conjunction(stream, schema))
+    if len(children) == 1:
+        return children[0]
+    return OrNode(tuple(children))
+
+
+def _parse_pq_conjunction(stream: _TokenStream, schema: Schema) -> PQNode:
+    node = _parse_pq_factor(stream, schema)
+    children = [node]
+    while stream.peek() in ("&", ","):
+        stream.next()
+        children.append(_parse_pq_factor(stream, schema))
+    if len(children) == 1:
+        return children[0]
+    return AndNode(tuple(children))
+
+
+def _parse_pq_factor(stream: _TokenStream, schema: Schema) -> PQNode:
+    if stream.peek() == "(":
+        stream.next()
+        node = _parse_pq_expression(stream, schema)
+        stream.expect(")")
+        return node
+    return AtomNode(_parse_atom(stream, schema))
+
+
+def parse_pq(schema: Schema, text: str, name: str = "Q") -> PositiveQuery:
+    """Parse a positive query using ``&``, ``|``, and parentheses."""
+    head_text, body_text = _split_head(text)
+    free: Tuple[Variable, ...] = ()
+    if head_text is not None:
+        head_stream = _TokenStream(_tokenize(head_text + " :- "))
+        name, free = _parse_head(head_stream)
+    stream = _TokenStream(_tokenize(body_text))
+    root = _parse_pq_expression(stream, schema)
+    if not stream.exhausted():
+        raise QueryError(f"trailing tokens after query: {stream.peek()!r}")
+    return PositiveQuery(root, free, name)
+
+
+def parse_query(
+    schema: Schema, text: str, name: str = "Q"
+) -> Union[ConjunctiveQuery, PositiveQuery]:
+    """Parse either a CQ or a PQ depending on the syntax used."""
+    _, body = _split_head(text)
+    if "|" in body or "(" == body.lstrip()[:1]:
+        return parse_pq(schema, text, name)
+    return parse_cq(schema, text, name)

@@ -1,0 +1,39 @@
+"""Executable lower-bound gadgets: Boolean coding, tiling, critical tuples."""
+
+from repro.reductions.boolean_gadgets import (
+    BOOLEAN_DOMAIN_NAME,
+    add_boolean_gadget,
+    and_chain_atoms,
+    boolean_gadget_facts,
+    or_chain_atoms,
+)
+from repro.reductions.critical_tuple import (
+    is_critical_tuple_bruteforce,
+    is_critical_via_ltr,
+)
+from repro.reductions.tiling import (
+    TilingProblem,
+    has_tiling,
+    sample_problems,
+    solve_tiling,
+)
+from repro.reductions.tiling_to_containment import (
+    TilingContainmentInstance,
+    tiling_to_containment,
+)
+
+__all__ = [
+    "BOOLEAN_DOMAIN_NAME",
+    "add_boolean_gadget",
+    "boolean_gadget_facts",
+    "or_chain_atoms",
+    "and_chain_atoms",
+    "TilingProblem",
+    "solve_tiling",
+    "has_tiling",
+    "sample_problems",
+    "tiling_to_containment",
+    "TilingContainmentInstance",
+    "is_critical_tuple_bruteforce",
+    "is_critical_via_ltr",
+]

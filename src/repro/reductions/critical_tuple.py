@@ -1,0 +1,101 @@
+"""The critical-tuple bridge (Proposition 4.5 / Miklau–Suciu).
+
+Miklau and Suciu call a tuple ``t`` *critical* for a Boolean query ``Q`` over
+a finite domain ``D`` when there is an instance ``I`` with values in ``D``
+such that deleting ``t`` from ``I`` changes the value of ``Q``.  The paper's
+Σ₂ᵖ-hardness proof for long-term relevance with independent accesses rests on
+the observation that ``t`` is critical iff the Boolean access ``R(t)?`` is
+long-term relevant in a configuration containing only the query's constants.
+
+This module implements both sides of that equivalence:
+
+* :func:`is_critical_tuple_bruteforce` enumerates every instance over the
+  finite domain (exponential — only usable on tiny domains, which is exactly
+  how it is used in tests);
+* :func:`is_critical_via_ltr` runs the library's long-term relevance
+  procedure on the corresponding access.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence, Tuple
+
+from repro.data import Configuration
+from repro.exceptions import QueryError
+from repro.queries import ConjunctiveQuery, evaluate_boolean
+from repro.queries.homomorphism import CanonicalInstance
+from repro.core.longterm_independent import is_ltr_independent
+from repro.schema import Access, Schema
+
+__all__ = ["is_critical_tuple_bruteforce", "is_critical_via_ltr"]
+
+
+def _all_possible_facts(
+    query: ConjunctiveQuery, domain_values: Sequence[object]
+) -> Tuple[Tuple[str, Tuple[object, ...]], ...]:
+    facts = []
+    for relation in query.relations():
+        for values in itertools.product(domain_values, repeat=relation.arity):
+            facts.append((relation.name, values))
+    return tuple(facts)
+
+
+def is_critical_tuple_bruteforce(
+    query: ConjunctiveQuery,
+    relation_name: str,
+    tuple_values: Sequence[object],
+    domain_values: Sequence[object],
+) -> bool:
+    """Brute-force criticality check (exponential in ``|domain|``).
+
+    ``t`` is critical iff some instance over ``domain_values`` containing
+    ``t`` satisfies the query while the instance without ``t`` does not.
+    """
+    if not query.is_boolean:
+        raise QueryError("criticality is defined for Boolean queries")
+    target = (relation_name, tuple(tuple_values))
+    other_facts = [
+        fact for fact in _all_possible_facts(query, domain_values) if fact != target
+    ]
+    for size in range(len(other_facts) + 1):
+        for subset in itertools.combinations(other_facts, size):
+            without = CanonicalInstance()
+            for name, values in subset:
+                without.add(name, values)
+            with_target = without.copy()
+            with_target.add(*target)
+            if evaluate_boolean(query, with_target) and not evaluate_boolean(
+                query, without
+            ):
+                return True
+    return False
+
+
+def is_critical_via_ltr(
+    query: ConjunctiveQuery,
+    relation_name: str,
+    tuple_values: Sequence[object],
+    schema: Schema,
+) -> bool:
+    """Criticality through the long-term relevance procedure.
+
+    Every relation of ``schema`` must carry an independent Boolean access
+    method for the accessed relation (and any access method for the others);
+    the configuration contains only the query constants.
+    """
+    methods = [
+        method
+        for method in schema.methods_for(relation_name)
+        if method.is_boolean and not method.dependent
+    ]
+    if not methods:
+        raise QueryError(
+            f"relation {relation_name!r} needs an independent Boolean access "
+            f"method for the critical-tuple bridge"
+        )
+    access = Access(methods[0], tuple(tuple_values))
+    configuration = Configuration.empty(schema).with_constants(
+        query.constants_with_domains()
+    )
+    return is_ltr_independent(query, access, configuration, schema)

@@ -1,0 +1,17 @@
+"""Schema model: abstract domains, relations, access methods (paper Section 2)."""
+
+from repro.schema.access import Access, AccessMethod
+from repro.schema.domains import AbstractDomain, DomainRegistry
+from repro.schema.relations import Attribute, Relation
+from repro.schema.schema import Schema, SchemaBuilder
+
+__all__ = [
+    "AbstractDomain",
+    "DomainRegistry",
+    "Attribute",
+    "Relation",
+    "AccessMethod",
+    "Access",
+    "Schema",
+    "SchemaBuilder",
+]

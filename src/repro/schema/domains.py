@@ -1,0 +1,121 @@
+"""Abstract domains of attribute values (Section 2 of the paper).
+
+Every attribute of every relation is typed with an *abstract domain* chosen in
+a countable set of abstract domains.  Two attributes may share the same domain
+and different domains may conceptually overlap; in this implementation a
+domain is purely a name used for typing accesses: in the *dependent* case the
+binding values supplied to an access method must appear in the active domain
+of the current configuration *with the matching abstract domain*.
+
+Domains can additionally be declared *enumerated* with a finite value set,
+which is used by workload generators and by the tiling gadgets (Boolean
+domains, tile-type domains).  Enumeration does not change the semantics of
+accesses; it only constrains what generators produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Optional
+
+from repro.exceptions import SchemaError
+
+__all__ = ["AbstractDomain", "DomainRegistry"]
+
+
+@dataclass(frozen=True)
+class AbstractDomain:
+    """A named abstract domain of values.
+
+    Parameters
+    ----------
+    name:
+        Unique name of the domain (e.g. ``"EmpId"``, ``"State"``, ``"B"``).
+    values:
+        Optional finite enumeration of the values of the domain.  ``None``
+        means the domain is (countably) infinite, which is the common case in
+        the paper.  Enumerated domains are used for Boolean gadgets and tile
+        types in the lower-bound constructions.
+    """
+
+    name: str
+    values: Optional[FrozenSet[object]] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("an abstract domain must have a non-empty name")
+
+    @property
+    def is_enumerated(self) -> bool:
+        """Whether the domain has a declared finite value set."""
+        return self.values is not None
+
+    def admits(self, value: object) -> bool:
+        """Whether ``value`` may belong to this domain.
+
+        Infinite domains admit every value; enumerated domains only admit the
+        declared values.
+        """
+        if self.values is None:
+            return True
+        return value in self.values
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_enumerated:
+            return f"AbstractDomain({self.name!r}, |values|={len(self.values or ())})"
+        return f"AbstractDomain({self.name!r})"
+
+
+def _freeze_values(values: Optional[Iterable[object]]) -> Optional[FrozenSet[object]]:
+    if values is None:
+        return None
+    return frozenset(values)
+
+
+class DomainRegistry:
+    """A small helper keeping track of the domains declared for a schema.
+
+    A registry guarantees that a domain name maps to a single
+    :class:`AbstractDomain` object, so equal names always compare equal and
+    accidental redeclaration with a different enumeration is rejected.
+    """
+
+    def __init__(self) -> None:
+        self._domains: dict[str, AbstractDomain] = {}
+
+    def declare(
+        self, name: str, values: Optional[Iterable[object]] = None
+    ) -> AbstractDomain:
+        """Declare (or retrieve) the domain called ``name``.
+
+        Re-declaring an existing name with an identical enumeration returns
+        the existing object; re-declaring with a conflicting enumeration
+        raises :class:`~repro.exceptions.SchemaError`.
+        """
+        frozen = _freeze_values(values)
+        existing = self._domains.get(name)
+        if existing is not None:
+            if existing.values != frozen:
+                raise SchemaError(
+                    f"domain {name!r} already declared with a different value set"
+                )
+            return existing
+        domain = AbstractDomain(name, frozen)
+        self._domains[name] = domain
+        return domain
+
+    def get(self, name: str) -> AbstractDomain:
+        """Return the domain called ``name``, raising if it was never declared."""
+        try:
+            return self._domains[name]
+        except KeyError:
+            raise SchemaError(f"unknown abstract domain {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._domains
+
+    def __iter__(self):
+        return iter(self._domains.values())
+
+    def __len__(self) -> int:
+        return len(self._domains)

@@ -1,0 +1,117 @@
+"""Relations and attributes of a schema (Section 2 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple, Union
+
+from repro.exceptions import SchemaError
+from repro.schema.domains import AbstractDomain
+
+__all__ = ["Attribute", "Relation"]
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, typed attribute of a relation.
+
+    Parameters
+    ----------
+    name:
+        Attribute name, unique within its relation.
+    domain:
+        The abstract domain of the values of this attribute.
+    """
+
+    name: str
+    domain: AbstractDomain
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("an attribute must have a non-empty name")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}:{self.domain.name}"
+
+
+AttributeSpec = Union[Attribute, Tuple[str, AbstractDomain]]
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A relation symbol with a fixed tuple of typed attributes.
+
+    The position of an attribute in :attr:`attributes` is its *place*; access
+    methods refer to places by index (0-based).
+    """
+
+    name: str
+    attributes: Tuple[Attribute, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("a relation must have a non-empty name")
+        names = [attribute.name for attribute in self.attributes]
+        if len(set(names)) != len(names):
+            raise SchemaError(
+                f"relation {self.name!r} has duplicate attribute names: {names}"
+            )
+
+    @staticmethod
+    def make(name: str, attributes: Sequence[AttributeSpec]) -> "Relation":
+        """Build a relation from ``(name, domain)`` pairs or `Attribute`s."""
+        normalised = []
+        for spec in attributes:
+            if isinstance(spec, Attribute):
+                normalised.append(spec)
+            else:
+                attr_name, domain = spec
+                normalised.append(Attribute(attr_name, domain))
+        return Relation(name, tuple(normalised))
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes of the relation."""
+        return len(self.attributes)
+
+    @property
+    def domains(self) -> Tuple[AbstractDomain, ...]:
+        """Tuple of the abstract domains of the attributes, in place order."""
+        return tuple(attribute.domain for attribute in self.attributes)
+
+    def attribute_index(self, attribute_name: str) -> int:
+        """Return the place (0-based) of the attribute called ``attribute_name``."""
+        for index, attribute in enumerate(self.attributes):
+            if attribute.name == attribute_name:
+                return index
+        raise SchemaError(
+            f"relation {self.name!r} has no attribute named {attribute_name!r}"
+        )
+
+    def domain_of(self, place: int) -> AbstractDomain:
+        """Return the abstract domain of the attribute at ``place``."""
+        try:
+            return self.attributes[place].domain
+        except IndexError:
+            raise SchemaError(
+                f"relation {self.name!r} has no place {place} (arity {self.arity})"
+            ) from None
+
+    def check_values(self, values: Sequence[object]) -> None:
+        """Validate that ``values`` is a well-typed tuple for this relation."""
+        if len(values) != self.arity:
+            raise SchemaError(
+                f"relation {self.name!r} expects {self.arity} values, "
+                f"got {len(values)}"
+            )
+        for place, value in enumerate(values):
+            domain = self.attributes[place].domain
+            if not domain.admits(value):
+                raise SchemaError(
+                    f"value {value!r} is not admitted by domain {domain.name!r} "
+                    f"at place {place} of relation {self.name!r}"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        attrs = ", ".join(repr(attribute) for attribute in self.attributes)
+        return f"{self.name}({attrs})"

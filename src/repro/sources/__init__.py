@@ -1,0 +1,12 @@
+"""Simulated deep-Web sources, mediator, and the introduction's bank scenario."""
+
+from repro.sources.bank import BankScenario, build_bank_scenario, build_bank_schema
+from repro.sources.service import DataSource, Mediator
+
+__all__ = [
+    "DataSource",
+    "Mediator",
+    "BankScenario",
+    "build_bank_schema",
+    "build_bank_scenario",
+]

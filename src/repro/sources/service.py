@@ -1,0 +1,175 @@
+"""Simulated deep-Web sources and the mediator that queries them.
+
+The paper's motivating setting is a federated query engine that can only
+reach backend data through restricted interfaces (Web forms, services).  This
+module simulates that setting:
+
+* a :class:`DataSource` wraps a *hidden* instance together with one access
+  method; it answers accesses soundly, either exactly (all matching tuples)
+  or partially (a sampled subset), modelling sources with incomplete
+  knowledge;
+* a :class:`Mediator` owns the current configuration — everything retrieved
+  so far — performs well-formed accesses against the sources, and keeps an
+  access log, so answering strategies (see :mod:`repro.planner.dynamic`) can
+  be compared by the number of accesses they make.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.data import (
+    AccessResponse,
+    Configuration,
+    Instance,
+    is_well_formed,
+    response_from_instance,
+)
+from repro.exceptions import AccessError, SchemaError
+from repro.schema import Access, AccessMethod, Schema
+
+__all__ = ["DataSource", "Mediator"]
+
+
+class DataSource:
+    """A single source: one access method over a hidden instance.
+
+    Parameters
+    ----------
+    method:
+        The access method this source implements.
+    hidden_instance:
+        The full backend data (never exposed directly).
+    completeness:
+        Probability that each matching tuple is included in a response;
+        ``1.0`` models an exact source, smaller values model sound but
+        partial sources.
+    seed:
+        Seed of the per-source random generator (for reproducible partial
+        responses).
+    """
+
+    def __init__(
+        self,
+        method: AccessMethod,
+        hidden_instance: Instance,
+        *,
+        completeness: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= completeness <= 1.0:
+            raise AccessError("completeness must be between 0 and 1")
+        self._method = method
+        self._hidden = hidden_instance
+        self._completeness = completeness
+        self._random = random.Random(seed)
+        self.calls = 0
+
+    @property
+    def method(self) -> AccessMethod:
+        """The access method implemented by this source."""
+        return self._method
+
+    def respond(self, access: Access) -> AccessResponse:
+        """Answer an access (which must use this source's method)."""
+        if access.method.name != self._method.name:
+            raise AccessError(
+                f"source for {self._method.name!r} received an access via "
+                f"{access.method.name!r}"
+            )
+        self.calls += 1
+        matching = sorted(
+            access.select(self._hidden.tuples(access.relation)), key=repr
+        )
+        if self._completeness >= 1.0:
+            chosen: Sequence[Tuple[object, ...]] = matching
+        else:
+            chosen = [
+                row for row in matching if self._random.random() <= self._completeness
+            ]
+        return AccessResponse(access, tuple(chosen))
+
+
+class Mediator:
+    """A federated query engine over a set of sources.
+
+    The mediator's state is its configuration; every successful access grows
+    it.  Accesses that are not well-formed (a dependent binding value not yet
+    known) are rejected, mirroring the paper's semantics.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        sources: Iterable[DataSource],
+        initial_configuration: Optional[Configuration] = None,
+    ) -> None:
+        self._schema = schema
+        self._sources: Dict[str, DataSource] = {}
+        for source in sources:
+            if source.method.name in self._sources:
+                raise SchemaError(
+                    f"duplicate source for access method {source.method.name!r}"
+                )
+            self._sources[source.method.name] = source
+        self._configuration = (
+            initial_configuration.copy()
+            if initial_configuration is not None
+            else Configuration.empty(schema)
+        )
+        self._log: List[Tuple[Access, int]] = []
+
+    # ------------------------------------------------------------------ #
+    # State
+    # ------------------------------------------------------------------ #
+    @property
+    def schema(self) -> Schema:
+        """The schema shared by the sources."""
+        return self._schema
+
+    @property
+    def configuration(self) -> Configuration:
+        """The facts retrieved so far (a copy; mutate via :meth:`perform`)."""
+        return self._configuration.copy()
+
+    @property
+    def access_count(self) -> int:
+        """How many accesses have been performed."""
+        return len(self._log)
+
+    @property
+    def access_log(self) -> Tuple[Tuple[Access, int], ...]:
+        """The sequence of performed accesses with the number of tuples returned."""
+        return tuple(self._log)
+
+    def source_for(self, method_name: str) -> DataSource:
+        """The source implementing ``method_name``."""
+        try:
+            return self._sources[method_name]
+        except KeyError:
+            raise SchemaError(f"no source for access method {method_name!r}") from None
+
+    # ------------------------------------------------------------------ #
+    # Access execution
+    # ------------------------------------------------------------------ #
+    def can_perform(self, access: Access) -> bool:
+        """Whether the access is well-formed at the current configuration."""
+        return is_well_formed(access, self._configuration)
+
+    def perform(self, access: Access) -> AccessResponse:
+        """Perform a well-formed access and merge its response."""
+        if not self.can_perform(access):
+            raise AccessError(
+                f"access {access!r} is not well-formed at the current configuration"
+            )
+        response = self.source_for(access.method.name).respond(access)
+        self._configuration = self._configuration.extended_with(response.as_facts())
+        self._log.append((access, len(response)))
+        return response
+
+    def seed_constants(self, constants: Iterable[Tuple[object, object]]) -> None:
+        """Make constants (e.g. query constants) available for dependent bindings."""
+        for value, domain in constants:
+            self._configuration.add_constant(value, domain)

@@ -1,0 +1,36 @@
+"""Synthetic workloads: generators and named scenarios for tests and benchmarks."""
+
+from repro.workloads.generators import (
+    GeneratedWorkload,
+    chain_schema,
+    random_configuration,
+    random_instance,
+    random_schema,
+)
+from repro.workloads.query_generators import chain_query, random_cq, random_pq, star_query
+from repro.workloads.scenarios import (
+    RelevanceScenario,
+    containment_example_scenario,
+    dependent_chain_scenario,
+    independent_pq_scenario,
+    independent_scenario,
+    small_arity_scenario,
+)
+
+__all__ = [
+    "GeneratedWorkload",
+    "random_schema",
+    "random_instance",
+    "random_configuration",
+    "chain_schema",
+    "chain_query",
+    "star_query",
+    "random_cq",
+    "random_pq",
+    "RelevanceScenario",
+    "independent_scenario",
+    "independent_pq_scenario",
+    "dependent_chain_scenario",
+    "small_arity_scenario",
+    "containment_example_scenario",
+]

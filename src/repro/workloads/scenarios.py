@@ -1,0 +1,114 @@
+"""Named scenarios used by the benchmarks and the integration tests.
+
+Each scenario packages a schema, a configuration, a query, and an access, so
+that every benchmark row of EXPERIMENTS.md is regenerated from a single named
+entry point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.data import Configuration
+from repro.queries import ConjunctiveQuery, PositiveQuery, parse_cq, parse_pq
+from repro.schema import Access, Schema, SchemaBuilder
+from repro.workloads.generators import chain_schema
+from repro.workloads.query_generators import chain_query, random_cq, random_pq
+
+__all__ = [
+    "RelevanceScenario",
+    "independent_scenario",
+    "independent_pq_scenario",
+    "dependent_chain_scenario",
+    "small_arity_scenario",
+    "containment_example_scenario",
+]
+
+
+@dataclass(frozen=True)
+class RelevanceScenario:
+    """A packaged relevance problem instance."""
+
+    name: str
+    schema: Schema
+    configuration: Configuration
+    query: object
+    access: Access
+    expected_immediate: Optional[bool] = None
+    expected_long_term: Optional[bool] = None
+
+
+def independent_scenario(query_size: int = 3, seed: int = 1) -> RelevanceScenario:
+    """Independent accesses, random CQ of the requested size (Table 1 rows 1–2)."""
+    builder = SchemaBuilder()
+    builder.domain("D")
+    for index in range(3):
+        relation = builder.relation(
+            f"R{index}", [("a", "D"), ("b", "D")][: 2 if index else 2]
+        )
+        builder.access(f"m{index}", relation, inputs=[0], dependent=False)
+    schema = builder.build()
+    query = random_cq(schema, atoms=query_size, variables=query_size + 1, seed=seed)
+    configuration = Configuration(schema, {"R0": [("d0", "d1")]})
+    access = Access(schema.access_method("m0"), ("d0",))
+    return RelevanceScenario("independent", schema, configuration, query, access)
+
+
+def independent_pq_scenario(disjuncts: int = 2, seed: int = 3) -> RelevanceScenario:
+    """Independent accesses, random positive query (Table 1 row 2)."""
+    base = independent_scenario(seed=seed)
+    query = random_pq(base.schema, disjuncts=disjuncts, seed=seed)
+    return RelevanceScenario(
+        "independent-pq", base.schema, base.configuration, query, base.access
+    )
+
+
+def dependent_chain_scenario(length: int = 3) -> RelevanceScenario:
+    """Dependent chained accesses: the access feeds a chain of joins (row 3).
+
+    The configuration knows a single start constant; the access on ``L1``
+    with that constant is long-term relevant because its outputs feed the
+    ``L2`` access, and so on down the chain (Example 2.1 generalised).
+    """
+    schema = chain_schema(length, dependent=True)
+    query = chain_query(schema, length)
+    configuration = Configuration.empty(schema)
+    domain = schema.relation("L1").domain_of(0)
+    configuration.add_constant("start", domain)
+    access = Access(schema.access_method("accL1"), ("start",))
+    return RelevanceScenario(
+        f"dependent-chain-{length}",
+        schema,
+        configuration,
+        query,
+        access,
+        expected_long_term=True,
+    )
+
+
+def small_arity_scenario(length: int = 3) -> RelevanceScenario:
+    """Binary relations, dependent accesses, connected query (Theorem 6.1)."""
+    scenario = dependent_chain_scenario(length)
+    return RelevanceScenario(
+        f"small-arity-{length}",
+        scenario.schema,
+        scenario.configuration,
+        scenario.query,
+        scenario.access,
+        expected_long_term=True,
+    )
+
+
+def containment_example_scenario() -> Tuple[Schema, Configuration, ConjunctiveQuery, ConjunctiveQuery]:
+    """Example 3.2: containment holds under access limitations but not classically."""
+    builder = SchemaBuilder()
+    builder.domain("D")
+    builder.relation("R", [("a", "D")])
+    builder.relation("S", [("a", "D")])
+    builder.access("accR", "R", inputs=["a"], dependent=True)
+    builder.access("accS", "S", inputs=[], dependent=True)
+    schema = builder.build()
+    query_r = parse_cq(schema, "R(x)", name="Q1")
+    query_s = parse_cq(schema, "S(x)", name="Q2")
+    return schema, Configuration.empty(schema), query_r, query_s

@@ -1,0 +1,56 @@
+"""Shared fixtures: small schemas and configurations used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Configuration, Instance, SchemaBuilder
+
+
+@pytest.fixture
+def binary_schema():
+    """Two binary relations R, S over one domain, independent accesses."""
+    builder = SchemaBuilder()
+    builder.domain("D")
+    builder.relation("R", [("a", "D"), ("b", "D")])
+    builder.relation("S", [("a", "D"), ("b", "D")])
+    builder.access("mR", "R", inputs=["b"], dependent=False)
+    builder.access("mS", "S", inputs=["a"], dependent=False)
+    return builder.build()
+
+
+@pytest.fixture
+def dependent_schema():
+    """R unary with a dependent Boolean access, S unary with a free access (Example 3.2)."""
+    builder = SchemaBuilder()
+    builder.domain("D")
+    builder.relation("R", [("a", "D")])
+    builder.relation("S", [("a", "D")])
+    builder.access("accR", "R", inputs=["a"], dependent=True)
+    builder.access("accS", "S", inputs=[], dependent=True)
+    return builder.build()
+
+
+@pytest.fixture
+def mixed_schema():
+    """A three-relation schema mixing dependent and independent methods."""
+    builder = SchemaBuilder()
+    builder.domain("D")
+    builder.domain("E")
+    builder.relation("A", [("x", "D"), ("y", "E")])
+    builder.relation("B", [("x", "E"), ("y", "D")])
+    builder.relation("C", [("x", "D")])
+    builder.access("mA", "A", inputs=["x"], dependent=True)
+    builder.access("mB", "B", inputs=["x"], dependent=True)
+    builder.access("mC", "C", inputs=[], dependent=False)
+    return builder.build()
+
+
+@pytest.fixture
+def binary_instance(binary_schema):
+    return Instance(binary_schema, {"R": [(1, 2), (2, 3)], "S": [(2, 5), (3, 5)]})
+
+
+@pytest.fixture
+def binary_configuration(binary_schema):
+    return Configuration(binary_schema, {"R": [(1, 2)]})

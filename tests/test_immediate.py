@@ -1,0 +1,95 @@
+"""Tests for immediate relevance (Proposition 4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Access, Configuration, is_immediately_relevant, parse_cq, parse_pq
+from repro.exceptions import QueryError
+
+
+class TestImmediateRelevance:
+    def test_not_relevant_when_query_certain(self, binary_schema):
+        configuration = Configuration(binary_schema, {"R": [(1, 2)], "S": [(2, 3)]})
+        query = parse_cq(binary_schema, "R(x, y), S(y, z)")
+        access = Access(binary_schema.access_method("mR"), (2,))
+        assert not is_immediately_relevant(query, access, configuration)
+
+    def test_relevant_when_single_access_completes_query(self, binary_schema):
+        configuration = Configuration(binary_schema, {"S": [(2, 3)]})
+        query = parse_cq(binary_schema, "R(x, y), S(y, z)")
+        access = Access(binary_schema.access_method("mR"), (2,))
+        assert is_immediately_relevant(query, access, configuration)
+
+    def test_not_relevant_when_two_accesses_needed(self, binary_schema):
+        configuration = Configuration.empty(binary_schema)
+        query = parse_cq(binary_schema, "R(x, y), S(y, z)")
+        access = Access(binary_schema.access_method("mR"), (2,))
+        assert not is_immediately_relevant(query, access, configuration)
+
+    def test_binding_mismatch_blocks_relevance(self, binary_schema):
+        configuration = Configuration(binary_schema, {"S": [(2, 3)]})
+        query = parse_cq(binary_schema, "R(x, 5), S(5, z)")
+        # The access binds the second place of R to 2, but the query requires 5.
+        access = Access(binary_schema.access_method("mR"), (2,))
+        assert not is_immediately_relevant(query, access, configuration)
+
+    def test_access_to_relation_not_in_query_is_irrelevant(self, binary_schema):
+        configuration = Configuration(binary_schema, {"R": [(1, 2)]})
+        query = parse_cq(binary_schema, "R(x, y), R(y, z)")
+        access = Access(binary_schema.access_method("mS"), (2,))
+        assert not is_immediately_relevant(query, access, configuration)
+
+    def test_repeated_relation_completed_by_one_access(self, binary_schema):
+        configuration = Configuration(binary_schema, {"R": [(1, 2)]})
+        query = parse_cq(binary_schema, "R(x, y), R(y, z)")
+        access = Access(binary_schema.access_method("mR"), (3,))
+        # The access can return R(2, 3), completing the join with R(1, 2).
+        assert is_immediately_relevant(query, access, configuration)
+
+    def test_positive_query_disjunct(self, binary_schema):
+        configuration = Configuration.empty(binary_schema)
+        query = parse_pq(binary_schema, "R(x, y) | (S(x, y) & S(y, z))")
+        access = Access(binary_schema.access_method("mR"), (7,))
+        # The first disjunct is witnessed entirely by the access.
+        assert is_immediately_relevant(query, access, configuration)
+
+    def test_positive_query_needs_both_conjuncts(self, binary_schema):
+        configuration = Configuration.empty(binary_schema)
+        query = parse_pq(binary_schema, "R(x, y) & S(y, z)")
+        access = Access(binary_schema.access_method("mR"), (7,))
+        assert not is_immediately_relevant(query, access, configuration)
+
+    def test_dependent_access_same_result(self, dependent_schema):
+        domain = dependent_schema.relation("R").domain_of(0)
+        configuration = Configuration.empty(dependent_schema).with_constants(
+            [("v", domain)]
+        )
+        query = parse_cq(dependent_schema, "R(x)")
+        access = Access(dependent_schema.access_method("accR"), ("v",))
+        assert is_immediately_relevant(query, access, configuration)
+
+    def test_assume_not_certain_skips_precheck(self, binary_schema):
+        configuration = Configuration(binary_schema, {"R": [(1, 2)], "S": [(2, 3)]})
+        query = parse_cq(binary_schema, "R(x, y), S(y, z)")
+        access = Access(binary_schema.access_method("mR"), (2,))
+        # With the certainty pre-check skipped, the NP part alone answers true
+        # (the access could return a matching fact); the caller is responsible
+        # for the precondition.
+        assert is_immediately_relevant(
+            query, access, configuration, assume_not_certain=True
+        )
+
+    def test_non_boolean_rejected(self, binary_schema):
+        query = parse_cq(binary_schema, "Q(x) :- R(x, y)")
+        access = Access(binary_schema.access_method("mR"), (2,))
+        with pytest.raises(QueryError):
+            is_immediately_relevant(query, access, Configuration.empty(binary_schema))
+
+    def test_constants_only_query(self, binary_schema):
+        configuration = Configuration.empty(binary_schema)
+        query = parse_cq(binary_schema, "R(1, 2)")
+        matching = Access(binary_schema.access_method("mR"), (2,))
+        conflicting = Access(binary_schema.access_method("mR"), (9,))
+        assert is_immediately_relevant(query, matching, configuration)
+        assert not is_immediately_relevant(query, conflicting, configuration)

@@ -1,0 +1,142 @@
+"""Tests for long-term relevance with independent accesses (Section 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Access, Configuration, is_long_term_relevant, parse_cq, parse_pq
+from repro.core import is_ltr_independent, is_ltr_single_occurrence
+from repro.exceptions import QueryError
+
+
+class TestSingleOccurrence:
+    """Proposition 4.3 and Example 4.2."""
+
+    def test_example_4_2_not_relevant(self, binary_schema):
+        query = parse_cq(binary_schema, "R(x, 5), S(5, z)")
+        configuration = Configuration(binary_schema, {"R": [(3, 5)]})
+        access = Access(binary_schema.access_method("mR"), (5,))
+        assert not is_ltr_single_occurrence(query, access, configuration)
+
+    def test_example_4_2_relevant(self, binary_schema):
+        query = parse_cq(binary_schema, "R(x, 5), S(5, z)")
+        configuration = Configuration(binary_schema, {"R": [(3, 6)]})
+        access = Access(binary_schema.access_method("mR"), (5,))
+        assert is_ltr_single_occurrence(query, access, configuration)
+
+    def test_binding_conflict_is_not_relevant(self, binary_schema):
+        query = parse_cq(binary_schema, "R(x, 5), S(5, z)")
+        configuration = Configuration.empty(binary_schema)
+        access = Access(binary_schema.access_method("mR"), (7,))
+        assert not is_ltr_single_occurrence(query, access, configuration)
+
+    def test_satisfied_component_blocks_relevance(self, binary_schema):
+        # R(x, y) and S(u, v) are separate components; the R component is
+        # already satisfied, so an access on R is not long-term relevant.
+        query = parse_cq(binary_schema, "R(x, y), S(u, v)")
+        configuration = Configuration(binary_schema, {"R": [(1, 2)]})
+        access = Access(binary_schema.access_method("mR"), (9,))
+        assert not is_ltr_single_occurrence(query, access, configuration)
+
+    def test_repeated_relation_rejected(self, binary_schema):
+        query = parse_cq(binary_schema, "R(x, y), R(y, z)")
+        access = Access(binary_schema.access_method("mR"), (2,))
+        with pytest.raises(QueryError):
+            is_ltr_single_occurrence(query, access, Configuration.empty(binary_schema))
+
+    def test_agrees_with_general_procedure(self, binary_schema):
+        cases = [
+            ("R(x, 5), S(5, z)", {"R": [(3, 5)]}, (5,)),
+            ("R(x, 5), S(5, z)", {"R": [(3, 6)]}, (5,)),
+            ("R(x, y), S(y, z)", {}, (4,)),
+            ("R(x, y), S(u, v)", {"R": [(1, 2)]}, (9,)),
+        ]
+        for text, facts, binding in cases:
+            query = parse_cq(binary_schema, text)
+            configuration = Configuration(binary_schema, facts)
+            access = Access(binary_schema.access_method("mR"), binding)
+            assert is_ltr_single_occurrence(
+                query, access, configuration
+            ) == is_ltr_independent(query, access, configuration, binary_schema)
+
+
+class TestGeneralIndependent:
+    """Proposition 4.5 and Example 4.4."""
+
+    def test_example_4_4_not_relevant(self, binary_schema):
+        query = parse_cq(binary_schema, "R(x, y), R(x, 5)")
+        configuration = Configuration.empty(binary_schema)
+        access = Access(binary_schema.access_method("mR"), (3,))
+        assert not is_ltr_independent(query, access, configuration, binary_schema)
+
+    def test_example_4_4_matching_binding_is_relevant(self, binary_schema):
+        query = parse_cq(binary_schema, "R(x, y), R(x, 5)")
+        configuration = Configuration.empty(binary_schema)
+        access = Access(binary_schema.access_method("mR"), (5,))
+        assert is_ltr_independent(query, access, configuration, binary_schema)
+
+    def test_relation_not_in_query_is_irrelevant(self, binary_schema):
+        query = parse_cq(binary_schema, "R(x, y), R(y, z)")
+        configuration = Configuration.empty(binary_schema)
+        access = Access(binary_schema.access_method("mS"), (1,))
+        assert not is_ltr_independent(query, access, configuration, binary_schema)
+
+    def test_certain_query_is_never_relevant(self, binary_schema):
+        query = parse_cq(binary_schema, "R(x, y)")
+        configuration = Configuration(binary_schema, {"R": [(1, 2)]})
+        access = Access(binary_schema.access_method("mR"), (9,))
+        assert not is_ltr_independent(query, access, configuration, binary_schema)
+
+    def test_positive_query_relevance(self, binary_schema):
+        query = parse_pq(binary_schema, "(R(x, y) & S(y, z)) | S(9, 9)")
+        configuration = Configuration.empty(binary_schema)
+        access = Access(binary_schema.access_method("mR"), (4,))
+        assert is_ltr_independent(query, access, configuration, binary_schema)
+
+    def test_positive_query_already_satisfiable_without_access(self, binary_schema):
+        # Both disjuncts avoid R entirely, so an R access can never matter.
+        query = parse_pq(binary_schema, "S(x, y) | S(y, x)")
+        configuration = Configuration.empty(binary_schema)
+        access = Access(binary_schema.access_method("mR"), (4,))
+        assert not is_ltr_independent(query, access, configuration, binary_schema)
+
+    def test_relation_without_access_method_blocks_witness(self):
+        from repro import SchemaBuilder
+
+        builder = SchemaBuilder()
+        builder.domain("D")
+        builder.relation("R", [("a", "D"), ("b", "D")])
+        builder.relation("Fixed", [("a", "D")])
+        builder.access("mR", "R", inputs=["b"], dependent=False)
+        schema = builder.build()
+        query = parse_cq(schema, "R(x, y), Fixed(y)")
+        configuration = Configuration.empty(schema)
+        access = Access(schema.access_method("mR"), (3,))
+        # Fixed can never gain facts, so the conjunction can never become true.
+        assert not is_ltr_independent(query, access, configuration, schema)
+        # With the Fixed fact already known, the access becomes relevant.
+        known = Configuration(schema, {"Fixed": [(3,)]})
+        assert is_ltr_independent(query, access, known, schema)
+
+    def test_facade_dispatches_to_independent(self, binary_schema):
+        query = parse_cq(binary_schema, "R(x, y), S(y, z)")
+        configuration = Configuration.empty(binary_schema)
+        access = Access(binary_schema.access_method("mR"), (2,))
+        assert is_long_term_relevant(query, access, configuration, binary_schema)
+
+    def test_immediate_relevance_implies_long_term(self, binary_schema):
+        from repro import is_immediately_relevant
+
+        configuration = Configuration(binary_schema, {"S": [(2, 3)]})
+        query = parse_cq(binary_schema, "R(x, y), S(y, z)")
+        access = Access(binary_schema.access_method("mR"), (2,))
+        assert is_immediately_relevant(query, access, configuration)
+        assert is_ltr_independent(query, access, configuration, binary_schema)
+
+    def test_non_boolean_rejected(self, binary_schema):
+        query = parse_cq(binary_schema, "Q(x) :- R(x, y)")
+        access = Access(binary_schema.access_method("mR"), (2,))
+        with pytest.raises(QueryError):
+            is_ltr_independent(
+                query, access, Configuration.empty(binary_schema), binary_schema
+            )

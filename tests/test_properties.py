@@ -1,0 +1,138 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+The invariants checked here are the load-bearing ones of the paper's model:
+
+* evaluation of positive queries is monotone in the instance;
+* certain answers only grow along well-formed access paths;
+* the Chandra–Merlin containment test agrees with brute-force evaluation
+  comparison on small instances;
+* immediate relevance implies long-term relevance (an increasing response is
+  a length-one witness path);
+* the truncation of a path is a prefix semantically: its final configuration
+  is contained in the full path's final configuration.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Access,
+    AccessPath,
+    AccessResponse,
+    Configuration,
+    Instance,
+    SchemaBuilder,
+    cq_contained_in,
+    evaluate,
+    evaluate_boolean,
+    is_immediately_relevant,
+)
+from repro.core import is_ltr_independent
+from repro.queries import ConjunctiveQuery
+from repro.queries.atoms import Atom
+from repro.queries.terms import Variable
+from repro.workloads import random_cq
+
+
+def _schema():
+    builder = SchemaBuilder()
+    builder.domain("D")
+    builder.relation("R", [("a", "D"), ("b", "D")])
+    builder.relation("S", [("a", "D"), ("b", "D")])
+    builder.access("mR", "R", inputs=["b"], dependent=False)
+    builder.access("mS", "S", inputs=["a"], dependent=False)
+    return builder.build()
+
+
+SCHEMA = _schema()
+VALUES = st.sampled_from(["v0", "v1", "v2"])
+PAIRS = st.tuples(VALUES, VALUES)
+FACTSETS = st.fixed_dictionaries(
+    {
+        "R": st.lists(PAIRS, max_size=5),
+        "S": st.lists(PAIRS, max_size=5),
+    }
+)
+QUERIES = st.integers(min_value=0, max_value=200).map(
+    lambda seed: random_cq(SCHEMA, atoms=3, variables=3, seed=seed)
+)
+
+
+common_settings = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@common_settings
+@given(facts=FACTSETS, extra=PAIRS, query=QUERIES)
+def test_positive_query_evaluation_is_monotone(facts, extra, query):
+    smaller = Instance(SCHEMA, facts)
+    larger = smaller.copy()
+    larger.add("R", extra)
+    assert evaluate(query, smaller) <= evaluate(query, larger)
+
+
+@common_settings
+@given(facts=FACTSETS, query=QUERIES, binding=VALUES, response=st.lists(PAIRS, max_size=3))
+def test_certain_answers_grow_along_paths(facts, query, binding, response):
+    configuration = Configuration(SCHEMA, facts)
+    access = Access(SCHEMA.access_method("mR"), (binding,))
+    sound_response = AccessResponse(
+        access, tuple((value, binding) for value, _ in response)
+    )
+    path = AccessPath(configuration, [sound_response])
+    before = evaluate(query, configuration)
+    after = evaluate(query, path.final_configuration())
+    assert before <= after
+
+
+@common_settings
+@given(query1=QUERIES, query2=QUERIES, facts=FACTSETS)
+def test_containment_test_is_sound_for_evaluation(query1, query2, facts):
+    """If Q1 ⊑ Q2 (Chandra–Merlin) then Q1's answers are included in Q2's."""
+    if cq_contained_in(query1, query2):
+        instance = Instance(SCHEMA, facts)
+        assert evaluate_boolean(query1, instance) <= evaluate_boolean(query2, instance)
+
+
+@common_settings
+@given(query=QUERIES, facts=FACTSETS, binding=VALUES)
+def test_immediate_relevance_implies_long_term_relevance(query, facts, binding):
+    configuration = Configuration(SCHEMA, facts)
+    access = Access(SCHEMA.access_method("mR"), (binding,))
+    if is_immediately_relevant(query, access, configuration):
+        assert is_ltr_independent(query, access, configuration, SCHEMA)
+
+
+@common_settings
+@given(facts=FACTSETS, binding1=VALUES, binding2=VALUES, rows=st.lists(PAIRS, max_size=3))
+def test_truncation_final_configuration_is_contained_in_full(facts, binding1, binding2, rows):
+    configuration = Configuration(SCHEMA, facts)
+    first = Access(SCHEMA.access_method("mR"), (binding1,))
+    second = Access(SCHEMA.access_method("mS"), (binding2,))
+    path = AccessPath(
+        configuration,
+        [
+            AccessResponse(first, tuple((value, binding1) for value, _ in rows)),
+            AccessResponse(second, tuple((binding2, value) for _, value in rows)),
+        ],
+    )
+    truncated = path.truncation().final_configuration()
+    full = path.final_configuration()
+    assert truncated.issubset(full)
+
+
+@common_settings
+@given(query=QUERIES)
+def test_query_contained_in_itself(query):
+    assert cq_contained_in(query, query)
+
+
+@common_settings
+@given(facts=FACTSETS, query=QUERIES)
+def test_canonical_instance_satisfies_its_query(facts, query):
+    from repro.queries import canonical_instance
+
+    assert evaluate_boolean(query, canonical_instance(query))
