@@ -11,6 +11,8 @@ should make no more accesses than the exhaustive one.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.planner import exhaustive_strategy, relevance_guided_strategy
@@ -19,6 +21,10 @@ from repro.sources import build_bank_scenario
 
 @pytest.fixture(scope="module")
 def bank():
+    if os.environ.get("REPRO_BENCH_SMOKE"):
+        # CI smoke sizing: small enough to finish in seconds while still
+        # exercising both strategies end to end.
+        return build_bank_scenario(employees=3, offices=2, states=2, known_employees=1)
     return build_bank_scenario(employees=6, offices=3, states=3, known_employees=2)
 
 

@@ -61,6 +61,11 @@ from repro.queries import (
     parse_pq,
     parse_query,
 )
+from repro.runtime import (
+    AccessExecutor,
+    RelevanceOracle,
+    RuntimeMetrics,
+)
 from repro.schema import (
     AbstractDomain,
     Access,
@@ -71,7 +76,7 @@ from repro.schema import (
     SchemaBuilder,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -118,6 +123,10 @@ __all__ = [
     "ContainmentWitness",
     "containment_to_ltr",
     "ltr_to_containment",
+    # runtime
+    "AccessExecutor",
+    "RelevanceOracle",
+    "RuntimeMetrics",
     # exceptions
     "ReproError",
     "SchemaError",

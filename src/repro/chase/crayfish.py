@@ -249,6 +249,11 @@ def _support_candidates(
     output places are filled with fresh values so that the support interferes
     as little as possible with the rest of the witness.
     """
+    available_by_domain: Dict[object, List[object]] = {}
+    for val, dom in state.available:
+        available_by_domain.setdefault(dom, []).append(val)
+    for values in available_by_domain.values():
+        values.sort(key=repr)
     for method in schema.access_methods:
         relation = method.relation
         for output_place in method.output_places:
@@ -259,14 +264,9 @@ def _support_candidates(
             for place in method.input_places:
                 place_domain = relation.domain_of(place)
                 if method.dependent:
-                    available_values = sorted(
-                        {
-                            val
-                            for val, dom in state.available
-                            if dom == place_domain
-                        },
-                        key=repr,
-                    )[:support_value_choices]
+                    available_values = available_by_domain.get(place_domain, [])[
+                        :support_value_choices
+                    ]
                     choices = list(available_values)
                     fresh_value = fresh.new(place_domain)
                     if fresh_value is not None:

@@ -89,6 +89,8 @@ def iter_witness_assignments(
     schema=None,
     fresh_per_domain: int = 1,
     max_assignments: Optional[int] = None,
+    prefer_fresh: bool = False,
+    preferred_values: Sequence[object] = (),
 ) -> Iterator[Dict[Variable, object]]:
     """Enumerate assignments restricted to *useful* active-domain values.
 
@@ -173,7 +175,23 @@ def iter_witness_assignments(
         else:
             if domain.name not in fresh_pools:
                 fresh_pools[domain.name] = fresh.several(domain, fresh_per_domain)
-            pool = tuple(sorted(useful[variable], key=repr)) + fresh_pools[domain.name]
+            known = tuple(sorted(useful[variable], key=repr))
+            # ``prefer_fresh`` flips the enumeration order so witnesses built
+            # from facts *outside* the configuration are tried first, and
+            # ``preferred_values`` (e.g. the output values of the probed
+            # access) are hoisted to the front of the pool.  With
+            # ``max_assignments=None`` the reordering cannot affect the
+            # verdict (the same set is enumerated); under a finite budget it
+            # changes which prefix is searched, trading one incompleteness
+            # frontier for another — soundness is unaffected either way.
+            if prefer_fresh:
+                pool = fresh_pools[domain.name] + known
+            else:
+                pool = known + fresh_pools[domain.name]
+            if preferred_values:
+                front = tuple(v for v in preferred_values if v in pool)
+                if front:
+                    pool = front + tuple(v for v in pool if v not in front)
         if not pool:
             return
         pools.append(pool)

@@ -181,6 +181,9 @@ def _ltr_via_generic_response(
     first_fact = Fact(relation.name, tuple(values))
     first_response = AccessResponse(access, (tuple(values),))
     after_first = configuration.extended_with([first_fact])
+    # The interesting witnesses are the ones that consume the first access's
+    # fresh outputs; try those values first when enumerating assignments.
+    fresh_outputs = tuple(values[place] for place in method.output_places)
 
     for disjunct in _disjuncts(query):
         variable_domains = disjunct.variable_domains()
@@ -193,6 +196,8 @@ def _ltr_via_generic_response(
             schema=schema,
             fresh_per_domain=fresh_count,
             max_assignments=max_assignments,
+            prefer_fresh=True,
+            preferred_values=fresh_outputs,
         ):
             later_facts: List[Fact] = []
             feasible = True

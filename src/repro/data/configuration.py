@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import ConsistencyError
+from repro.data.indexing import fact_hash
 from repro.data.instance import Fact, Instance
 from repro.schema import AbstractDomain, Schema
 
@@ -39,8 +40,12 @@ class Configuration(Instance):
         facts: Union[Mapping[str, Iterable[Sequence[object]]], Iterable[Fact], None] = None,
         constants: Iterable[Tuple[object, AbstractDomain]] = (),
     ) -> None:
+        self._constants: set = set()
+        self._constants_hash = 0
+        self._combined_adom: Optional[FrozenSet[Tuple[object, AbstractDomain]]] = None
         super().__init__(schema, facts)
-        self._constants: set = set(constants)
+        for value, domain in constants:
+            self.add_constant(value, domain)
 
     # ------------------------------------------------------------------ #
     # Seed constants
@@ -52,7 +57,12 @@ class Configuration(Instance):
 
     def add_constant(self, value: object, domain: AbstractDomain) -> None:
         """Declare ``value`` (of ``domain``) as known to the configuration."""
-        self._constants.add((value, domain))
+        pair = (value, domain)
+        if pair not in self._constants:
+            self._constants.add(pair)
+            self._constants_hash ^= fact_hash(domain.name, (value,))
+            self._combined_adom = None
+            self._pools_cache = None
 
     def with_constants(
         self, constants: Iterable[Tuple[object, AbstractDomain]]
@@ -68,14 +78,28 @@ class Configuration(Instance):
     # ------------------------------------------------------------------ #
     def active_domain(self) -> FrozenSet[Tuple[object, AbstractDomain]]:
         """Active domain of the facts plus the seed constants."""
-        return super().active_domain() | frozenset(self._constants)
+        combined = self._combined_adom
+        if combined is None:
+            combined = super().active_domain() | self._constants
+            self._combined_adom = combined
+        return combined
+
+    def _invalidate_adom(self) -> None:
+        super()._invalidate_adom()
+        self._combined_adom = None
+
+    def fingerprint(self) -> Tuple[int, int, int]:
+        """Content fingerprint covering facts and seed constants."""
+        size, content = super().fingerprint()
+        return (size, content, self._constants_hash)
 
     def copy(self) -> "Configuration":
         """A deep copy (sharing the schema)."""
         clone = Configuration(self.schema)
-        for fact in self.facts():
-            clone.add_fact(fact)
+        self._copy_storage_into(clone)
         clone._constants = set(self._constants)
+        clone._constants_hash = self._constants_hash
+        clone._combined_adom = self._combined_adom
         return clone
 
     def union(self, other: Instance) -> "Configuration":
@@ -84,7 +108,8 @@ class Configuration(Instance):
         for fact in other.facts():
             merged.add_fact(fact)
         if isinstance(other, Configuration):
-            merged._constants |= other._constants
+            for value, domain in other._constants:
+                merged.add_constant(value, domain)
         return merged
 
     def extended_with(self, facts: Iterable[Fact]) -> "Configuration":

@@ -71,6 +71,20 @@ class AccessResponse:
                     f"{self.access!r}"
                 )
 
+    @staticmethod
+    def trusted(access: Access, facts: Tuple[Tuple[object, ...], ...]) -> "AccessResponse":
+        """Build a response *without* re-validating the tuples.
+
+        For callers that obtained ``facts`` by an index lookup keyed on the
+        binding (e.g. :class:`~repro.sources.service.DataSource`), validation
+        is redundant; this constructor skips it.  The caller guarantees every
+        tuple belongs to the accessed relation and agrees with the binding.
+        """
+        response = object.__new__(AccessResponse)
+        object.__setattr__(response, "access", access)
+        object.__setattr__(response, "facts", facts)
+        return response
+
     def as_facts(self) -> Tuple[Fact, ...]:
         """The response tuples as :class:`~repro.data.instance.Fact` objects."""
         relation_name = self.access.relation.name

@@ -91,9 +91,11 @@ def accessible_program(schema: Schema) -> Program:
 
 
 def _seed_database(instance: Instance, configuration: Configuration) -> Database:
+    # The cached frozen views of the indexed instance are handed to the engine
+    # as-is; IndexedDatabase copies them into its own indexed storage.
     database: Database = {}
     for relation in instance.schema.relations:
-        database[relation.name] = set(instance.tuples(relation))
+        database[relation.name] = instance.tuples(relation)
     for value, domain in configuration.active_domain():
         database.setdefault(domain_predicate(domain.name), set()).add((value,))
     for fact in configuration.facts():

@@ -3,25 +3,95 @@
 The engine works on a *database*: a mapping from predicate names to sets of
 ground tuples.  Extensional facts are supplied by the caller; evaluation
 returns the least fixpoint extending them with every derivable intensional
-fact.  The implementation is the classic semi-naive loop: each iteration only
-joins rule bodies against at least one *delta* (newly derived) literal.
+fact.
+
+Evaluation is *indexed semi-naive*:
+
+* facts are stored in an :class:`IndexedDatabase` carrying a hash index from
+  ``(place, constant)`` to tuples, so a body literal with bound terms only
+  enumerates compatible rows instead of scanning the predicate;
+* each iteration only joins rule bodies against at least one *delta* (newly
+  derived) literal, and the body is reordered so the delta literal is matched
+  first and the remaining literals are joined greedily by the number of
+  variables they share with what is already bound.
+
+:func:`evaluate_program_naive` preserves the straightforward scan-based
+evaluator; the property tests assert both produce identical fixpoints, and it
+serves as the baseline in benchmark comparisons.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro.data.indexing import candidates_from_index, index_add, iter_bound_matches
 from repro.datalog.program import Literal, Program, Rule
-from repro.queries.terms import Variable, is_variable
+from repro.queries.terms import Variable, is_variable, split_bound_free
 
-__all__ = ["Database", "evaluate_program", "query_database"]
+__all__ = [
+    "Database",
+    "IndexedDatabase",
+    "evaluate_program",
+    "evaluate_program_naive",
+    "query_database",
+]
 
 Database = Dict[str, Set[Tuple[object, ...]]]
 
+_UNBOUND = object()
 
-def _match_literal(
+_EMPTY: Tuple[Tuple[object, ...], ...] = ()
+
+
+class IndexedDatabase:
+    """A fact store for Datalog evaluation with (place, constant) indexes."""
+
+    __slots__ = ("_rows", "_indexes")
+
+    def __init__(self, edb: Optional[Mapping[str, Iterable[Tuple[object, ...]]]] = None) -> None:
+        self._rows: Database = {}
+        self._indexes: Dict[str, Dict[Tuple[int, object], Set[Tuple[object, ...]]]] = {}
+        if edb:
+            for predicate, rows in edb.items():
+                self._rows.setdefault(predicate, set())
+                for row in rows:
+                    self.add(predicate, tuple(row))
+
+    def add(self, predicate: str, row: Tuple[object, ...]) -> bool:
+        """Add a fact, returning ``True`` if it was new."""
+        rows = self._rows.setdefault(predicate, set())
+        if row in rows:
+            return False
+        rows.add(row)
+        index_add(self._indexes.setdefault(predicate, {}), row)
+        return True
+
+    def size(self, predicate: str) -> int:
+        """Number of rows stored for a predicate."""
+        return len(self._rows.get(predicate, ()))
+
+    def candidates(
+        self, predicate: str, bound: Mapping[int, object]
+    ) -> Iterable[Tuple[object, ...]]:
+        """Rows agreeing with ``bound`` (``place -> value``), via the index.
+
+        May return internal sets; the evaluation loop materialises every
+        rule's derivations before adding them, so no mutation happens while
+        a returned collection is being iterated.
+        """
+        rows = self._rows.get(predicate)
+        if rows is None:
+            return _EMPTY
+        return candidates_from_index(rows, self._indexes.get(predicate, {}), bound)
+
+    def as_database(self) -> Database:
+        """The underlying predicate-to-rows mapping."""
+        return self._rows
+
+
+def _match_indexed(
     literal: Literal,
-    database: Mapping[str, Set[Tuple[object, ...]]],
+    database: IndexedDatabase,
     assignment: Dict[Variable, object],
     restriction: Optional[Set[Tuple[object, ...]]] = None,
 ) -> Iterator[Dict[Variable, object]]:
@@ -29,12 +99,136 @@ def _match_literal(
 
     ``restriction`` (when given) limits matching to a subset of the
     predicate's tuples — this is how the delta relation of the semi-naive
-    algorithm is plugged in.
+    algorithm is plugged in; delta sets are small, so they are scanned.
     """
-    rows = restriction if restriction is not None else database.get(literal.predicate, set())
-    # Copy before iterating: callers add newly derived facts to the same sets
-    # while derivations are being enumerated.
-    for row in tuple(rows):
+    bound, free = split_bound_free(literal.terms, assignment)
+
+    if restriction is not None:
+        rows: Iterable[Tuple[object, ...]] = [
+            row
+            for row in restriction
+            if len(row) == literal.arity
+            and all(row[place] == value for place, value in bound.items())
+        ]
+    else:
+        rows = database.candidates(literal.predicate, bound)
+
+    yield from iter_bound_matches(rows, free, assignment, arity=literal.arity)
+
+
+def _ordered_body(
+    rule: Rule, delta_position: Optional[int], database: IndexedDatabase
+) -> List[int]:
+    """Join order for a rule body: the delta literal first, then greedily by
+    bound variables and predicate size."""
+    body = rule.body
+    remaining = list(range(len(body)))
+    order: List[int] = []
+    bound_variables: Set[Variable] = set()
+    if delta_position is not None:
+        order.append(delta_position)
+        remaining.remove(delta_position)
+        bound_variables.update(body[delta_position].variables)
+    while remaining:
+        def score(index: int) -> Tuple[int, int]:
+            literal = body[index]
+            unbound = sum(
+                1 for variable in literal.variables if variable not in bound_variables
+            )
+            return (unbound, database.size(literal.predicate))
+
+        best = min(remaining, key=score)
+        remaining.remove(best)
+        order.append(best)
+        bound_variables.update(body[best].variables)
+    return order
+
+
+def _rule_derivations(
+    rule: Rule,
+    database: IndexedDatabase,
+    delta: Optional[Mapping[str, Set[Tuple[object, ...]]]] = None,
+) -> Iterator[Tuple[object, ...]]:
+    """Yield head tuples derivable by ``rule``.
+
+    When ``delta`` is given, only derivations using at least one delta fact
+    are produced (semi-naive restriction); this is implemented by requiring,
+    for some body position, that the literal matches within the delta while
+    the other literals match the full database.
+    """
+    if rule.is_fact:
+        yield rule.head.ground_values({})
+        return
+
+    positions: Sequence[Optional[int]] = (
+        range(len(rule.body)) if delta is not None else [None]
+    )
+    for delta_position in positions:
+        delta_rows: Optional[Set[Tuple[object, ...]]] = None
+        if delta_position is not None:
+            delta_rows = delta.get(rule.body[delta_position].predicate) if delta else None
+            if not delta_rows:
+                continue
+        order = _ordered_body(rule, delta_position, database)
+
+        def backtrack(depth: int, assignment: Dict[Variable, object]) -> Iterator[Dict[Variable, object]]:
+            if depth == len(order):
+                yield assignment
+                return
+            position = order[depth]
+            literal = rule.body[position]
+            restriction = delta_rows if position == delta_position else None
+            for extension in _match_indexed(literal, database, assignment, restriction):
+                yield from backtrack(depth + 1, extension)
+
+        for assignment in backtrack(0, {}):
+            yield rule.head.ground_values(assignment)
+
+
+def evaluate_program(
+    program: Program,
+    edb: Mapping[str, Iterable[Tuple[object, ...]]],
+) -> Database:
+    """Compute the least fixpoint of ``program`` over the extensional facts.
+
+    Returns a new database containing the extensional facts plus every
+    derived intensional fact.
+    """
+    database = IndexedDatabase(edb)
+
+    # Naive first round (facts and rules applied once over the EDB).
+    delta: Dict[str, Set[Tuple[object, ...]]] = {}
+    for rule in program:
+        for derived in list(_rule_derivations(rule, database)):
+            if database.add(rule.head.predicate, derived):
+                delta.setdefault(rule.head.predicate, set()).add(derived)
+
+    # Semi-naive iterations.
+    while delta:
+        new_delta: Dict[str, Set[Tuple[object, ...]]] = {}
+        for rule in program:
+            if rule.is_fact:
+                continue
+            body_predicates = {literal.predicate for literal in rule.body}
+            if not body_predicates & set(delta):
+                continue
+            for derived in list(_rule_derivations(rule, database, delta)):
+                if database.add(rule.head.predicate, derived):
+                    new_delta.setdefault(rule.head.predicate, set()).add(derived)
+        delta = new_delta
+    return database.as_database()
+
+
+# --------------------------------------------------------------------------- #
+# Naive reference evaluator (kept for equivalence tests and benchmarks)
+# --------------------------------------------------------------------------- #
+def _match_scan(
+    literal: Literal,
+    database: Mapping[str, Set[Tuple[object, ...]]],
+    assignment: Dict[Variable, object],
+) -> Iterator[Dict[Variable, object]]:
+    """Scan-based literal matching over a plain predicate-to-rows mapping."""
+    for row in tuple(database.get(literal.predicate, set())):
         if len(row) != literal.arity:
             continue
         extension = dict(assignment)
@@ -54,82 +248,37 @@ def _match_literal(
             yield extension
 
 
-_UNBOUND = object()
-
-
-def _rule_derivations(
-    rule: Rule,
-    database: Mapping[str, Set[Tuple[object, ...]]],
-    delta: Optional[Mapping[str, Set[Tuple[object, ...]]]] = None,
-) -> Iterator[Tuple[object, ...]]:
-    """Yield head tuples derivable by ``rule``.
-
-    When ``delta`` is given, only derivations using at least one delta fact
-    are produced (semi-naive restriction); this is implemented by requiring,
-    for some body position ``i``, that literal ``i`` matches within the delta
-    while earlier literals match the full database.
-    """
-    if rule.is_fact:
-        yield rule.head.ground_values({})
-        return
-
-    positions = range(len(rule.body)) if delta is not None else [None]
-    for delta_position in positions:
-        def backtrack(index: int, assignment: Dict[Variable, object]) -> Iterator[Dict[Variable, object]]:
-            if index == len(rule.body):
-                yield assignment
-                return
-            literal = rule.body[index]
-            restriction = None
-            if delta is not None and index == delta_position:
-                restriction = delta.get(literal.predicate, set())
-            yield from (
-                result
-                for extension in _match_literal(literal, database, assignment, restriction)
-                for result in backtrack(index + 1, extension)
-            )
-
-        for assignment in backtrack(0, {}):
-            yield rule.head.ground_values(assignment)
-
-
-def evaluate_program(
+def evaluate_program_naive(
     program: Program,
     edb: Mapping[str, Iterable[Tuple[object, ...]]],
 ) -> Database:
-    """Compute the least fixpoint of ``program`` over the extensional facts.
-
-    Returns a new database containing the extensional facts plus every
-    derived intensional fact.
-    """
+    """Reference naive evaluation: apply every rule over the full database
+    until nothing new is derived.  Quadratic, but obviously correct."""
     database: Database = {
         predicate: {tuple(row) for row in rows} for predicate, rows in edb.items()
     }
-
-    # Naive first round (facts and rules applied once over the EDB).
-    delta: Dict[str, Set[Tuple[object, ...]]] = {}
-    for rule in program:
-        for derived in _rule_derivations(rule, database):
-            existing = database.setdefault(rule.head.predicate, set())
-            if derived not in existing:
-                existing.add(derived)
-                delta.setdefault(rule.head.predicate, set()).add(derived)
-
-    # Semi-naive iterations.
-    while delta:
-        new_delta: Dict[str, Set[Tuple[object, ...]]] = {}
+    changed = True
+    while changed:
+        changed = False
         for rule in program:
             if rule.is_fact:
-                continue
-            body_predicates = {literal.predicate for literal in rule.body}
-            if not body_predicates & set(delta):
-                continue
-            for derived in _rule_derivations(rule, database, delta):
-                existing = database.setdefault(rule.head.predicate, set())
+                derivations: Iterable[Tuple[object, ...]] = [rule.head.ground_values({})]
+            else:
+                def backtrack(index: int, assignment: Dict[Variable, object]) -> Iterator[Dict[Variable, object]]:
+                    if index == len(rule.body):
+                        yield assignment
+                        return
+                    for extension in _match_scan(rule.body[index], database, assignment):
+                        yield from backtrack(index + 1, extension)
+
+                derivations = [
+                    rule.head.ground_values(assignment) for assignment in backtrack(0, {})
+                ]
+            existing = database.setdefault(rule.head.predicate, set())
+            for derived in derivations:
                 if derived not in existing:
                     existing.add(derived)
-                    new_delta.setdefault(rule.head.predicate, set()).add(derived)
-        delta = new_delta
+                    changed = True
     return database
 
 
@@ -144,6 +293,6 @@ def query_database(
     """
     answers: Set[Tuple[object, ...]] = set()
     goal_variables = goal.variables
-    for assignment in _match_literal(goal, database, {}):
+    for assignment in _match_scan(goal, database, {}):
         answers.add(tuple(assignment[variable] for variable in goal_variables))
     return frozenset(answers)

@@ -13,6 +13,14 @@ configuration that grows with every access; the question at each step is
   current configuration, and stop as soon as the (Boolean) query becomes
   certain.
 
+Both strategies run on the :mod:`repro.runtime` layer: accesses are executed
+through a deduplicating :class:`~repro.runtime.executor.AccessExecutor`
+(exhaustive rounds are dispatched as batches), relevance and certainty
+verdicts go through a :class:`~repro.runtime.cache.RelevanceOracle` that
+memoizes them against the configuration's content fingerprint, and all
+decisions read the mediator's *live view* of the configuration instead of
+taking per-candidate deep copies.
+
 All strategies return an :class:`AnsweringResult` recording the answers, the
 number of accesses made, and the number of facts retrieved, so they can be
 compared head to head in ``benchmarks/bench_dynamic_answering.py``.
@@ -22,12 +30,13 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Callable, FrozenSet, List, Optional, Tuple
 
-from repro.core import ContainmentOptions, is_immediately_relevant, is_long_term_relevant
+from repro.core import ContainmentOptions
 from repro.data import Configuration
 from repro.exceptions import QueryError
-from repro.queries import certain_answers, evaluate_boolean, is_certain
+from repro.queries import certain_answers
+from repro.runtime import AccessExecutor, RelevanceOracle, RuntimeMetrics
 from repro.schema import Access, Schema
 from repro.sources.service import Mediator
 
@@ -42,6 +51,7 @@ class AnsweringResult:
     accesses_made: int
     facts_retrieved: int
     relevance_checks: int = 0
+    cache_hits: int = 0
 
     @property
     def boolean_answer(self) -> bool:
@@ -52,19 +62,17 @@ class AnsweringResult:
 def _candidate_accesses(
     schema: Schema,
     configuration: Configuration,
-    performed: Set[Tuple[str, Tuple[object, ...]]],
+    performed_key: Callable[[Tuple[str, Tuple[object, ...]]], bool],
 ) -> List[Access]:
     """Well-formed accesses (dependent bindings from the active domain) not yet made."""
     candidates: List[Access] = []
-    adom = configuration.active_domain()
+    by_domain = configuration.active_values_by_domain()
     for method in schema.access_methods:
-        pools: List[List[object]] = []
+        pools: List[Tuple[object, ...]] = []
         feasible = True
         for place in method.input_places:
             domain = method.relation.domain_of(place)
-            values = sorted(
-                {value for value, dom in adom if dom == domain}, key=repr
-            )
+            values = by_domain.get(domain)
             if not values:
                 feasible = False
                 break
@@ -72,73 +80,53 @@ def _candidate_accesses(
         if not feasible:
             continue
         for binding in itertools.product(*pools) if pools else [()]:
-            key = (method.name, tuple(binding))
-            if key in performed:
+            if performed_key((method.name, binding)):
                 continue
-            candidates.append(Access(method, tuple(binding)))
+            candidates.append(Access(method, binding))
     return candidates
 
 
-def _run(
+def _result(
     mediator: Mediator,
     query,
-    should_perform: Callable[[Access, Configuration], bool],
-    *,
-    stop_when_certain: bool,
-    max_rounds: int = 50,
+    facts_before: int,
+    relevance_checks: int,
+    cache_hits: int,
 ) -> AnsweringResult:
-    performed: Set[Tuple[str, Tuple[object, ...]]] = set()
-    relevance_checks = 0
-    facts_before = len(mediator.configuration)
-
-    def done(configuration: Configuration) -> bool:
-        return (
-            stop_when_certain
-            and query.is_boolean
-            and is_certain(query, configuration)
-        )
-
-    for _round in range(max_rounds):
-        configuration = mediator.configuration
-        if done(configuration):
-            break
-        candidates = _candidate_accesses(mediator.schema, configuration, performed)
-        progressed = False
-        for access in candidates:
-            current = mediator.configuration
-            if done(current):
-                break
-            relevance_checks += 1
-            if not should_perform(access, current):
-                continue
-            response = mediator.perform(access)
-            performed.add((access.method.name, tuple(access.binding)))
-            if len(response) > 0:
-                progressed = True
-        if not progressed or done(mediator.configuration):
-            break
-
-    final_configuration = mediator.configuration
+    final_configuration = mediator.configuration_view
     answers = certain_answers(query, final_configuration)
     return AnsweringResult(
         answers=answers,
         accesses_made=mediator.access_count,
         facts_retrieved=len(final_configuration) - facts_before,
         relevance_checks=relevance_checks,
+        cache_hits=cache_hits,
     )
 
 
 def exhaustive_strategy(
-    mediator: Mediator, query, *, max_rounds: int = 50
+    mediator: Mediator,
+    query,
+    *,
+    max_rounds: int = 50,
+    metrics: Optional[RuntimeMetrics] = None,
 ) -> AnsweringResult:
-    """Perform every well-formed access until a fixpoint (Li [18])."""
-    return _run(
-        mediator,
-        query,
-        lambda _access, _configuration: True,
-        stop_when_certain=False,
-        max_rounds=max_rounds,
-    )
+    """Perform every well-formed access until a fixpoint (Li [18]).
+
+    Each round's candidate accesses are dispatched as one batch through the
+    executor; the run stops when a round performs no access that returns a
+    new tuple.
+    """
+    executor = AccessExecutor(mediator, metrics=metrics)
+    facts_before = len(mediator.configuration_view)
+    for _round in range(max_rounds):
+        candidates = _candidate_accesses(
+            mediator.schema, mediator.configuration_view, executor.has_performed_key
+        )
+        batch = executor.execute_batch(candidates)
+        if not batch.progressed:
+            break
+    return _result(mediator, query, facts_before, 0, 0)
 
 
 def relevance_guided_strategy(
@@ -149,34 +137,81 @@ def relevance_guided_strategy(
     use_long_term: bool = True,
     options: Optional[ContainmentOptions] = None,
     max_rounds: int = 50,
+    oracle: Optional[RelevanceOracle] = None,
+    metrics: Optional[RuntimeMetrics] = None,
 ) -> AnsweringResult:
     """Only perform accesses that are relevant for the query.
 
-    ``use_long_term`` filters accesses through
-    :func:`repro.core.is_long_term_relevant`; ``use_immediate`` additionally
-    (or alternatively) requires immediate relevance.  For Boolean queries the
-    run stops as soon as the query becomes certain.
+    ``use_long_term`` filters accesses through the oracle's memoized
+    long-term relevance; ``use_immediate`` additionally (or alternatively)
+    requires immediate relevance.  For Boolean queries the run stops as soon
+    as the query becomes certain.  A pre-built ``oracle`` may be supplied to
+    share its verdict cache across runs over the same query and schema; in
+    that case pass containment ``options`` when constructing the oracle
+    (supplying both is rejected), and ``metrics`` only reaches the executor
+    (the oracle keeps recording into its own sink).
     """
     if not use_immediate and not use_long_term:
         raise QueryError("at least one relevance notion must be enabled")
+    if oracle is not None and options is not None:
+        raise QueryError(
+            "pass containment options when constructing the RelevanceOracle; "
+            "a pre-built oracle's cached verdicts already reflect its options"
+        )
     schema = mediator.schema
     boolean_query = query if query.is_boolean else query.boolean_closure()
+    if oracle is None:
+        oracle = RelevanceOracle(query, schema, options=options, metrics=metrics)
+    elif oracle.query != boolean_query:
+        raise QueryError(
+            "the supplied RelevanceOracle was built for a different query; "
+            "its cached verdicts do not apply"
+        )
+    elif oracle.schema is not schema:
+        raise QueryError(
+            "the supplied RelevanceOracle was built for a different schema "
+            "object than the mediator's; build it with mediator.schema"
+        )
+    executor = AccessExecutor(mediator, metrics=metrics)
+    relevance_checks = 0
+    hits_before = oracle.cache_hits
+    facts_before = len(mediator.configuration_view)
+
+    def done(configuration: Configuration) -> bool:
+        return query.is_boolean and oracle.is_certain(configuration)
 
     def should_perform(access: Access, configuration: Configuration) -> bool:
-        if use_long_term and not is_long_term_relevant(
-            boolean_query, access, configuration, schema, options=options
-        ):
+        if use_long_term and not oracle.long_term_relevant(access, configuration):
             return False
-        if use_immediate and not is_immediately_relevant(
-            boolean_query, access, configuration
-        ):
+        if use_immediate and not oracle.immediately_relevant(access, configuration):
             return False
         return True
 
-    return _run(
+    for _round in range(max_rounds):
+        configuration = mediator.configuration_view
+        if done(configuration):
+            break
+        candidates = _candidate_accesses(
+            schema, configuration, executor.has_performed_key
+        )
+        progressed = False
+        for access in candidates:
+            current = mediator.configuration_view
+            if done(current):
+                break
+            relevance_checks += 1
+            if not should_perform(access, current):
+                continue
+            response = executor.execute(access)
+            if response is not None and len(response) > 0:
+                progressed = True
+        if not progressed or done(mediator.configuration_view):
+            break
+
+    return _result(
         mediator,
         query,
-        should_perform,
-        stop_when_certain=True,
-        max_rounds=max_rounds,
+        facts_before,
+        relevance_checks,
+        oracle.cache_hits - hits_before,
     )

@@ -5,6 +5,13 @@ variables to values such that every atom, once ground, is a fact of the store.
 The search is a backtracking join with a simple greedy atom ordering (most
 bound variables first, smallest relation first).
 
+Fact stores that expose a ``tuples_matching(relation_name, bound)`` method
+(see :class:`~repro.data.instance.Instance` and :class:`CanonicalInstance`)
+are joined through their (place, constant) indexes: at every step only the
+tuples compatible with the constants and already-bound variables of the atom
+are enumerated.  Stores exposing only ``tuples`` fall back to a full scan, so
+any mapping-backed store keeps working.
+
 The module also provides :class:`CanonicalInstance`, a lightweight fact store
 used for canonical databases of queries: unlike
 :class:`~repro.data.instance.Instance`, it skips domain validation, because
@@ -13,11 +20,24 @@ frozen variables are fresh symbols that enumerated domains would reject.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
+from repro.data.indexing import candidates_from_index, index_add, iter_bound_matches
 from repro.queries.atoms import Atom
 from repro.queries.cq import ConjunctiveQuery
-from repro.queries.terms import Variable, is_variable
+from repro.queries.terms import Variable, is_variable, split_bound_free
 
 __all__ = [
     "CanonicalInstance",
@@ -29,11 +49,13 @@ __all__ = [
     "freeze_query",
 ]
 
+_EMPTY: Tuple[Tuple[object, ...], ...] = ()
+
 
 class CanonicalInstance:
-    """A minimal fact store: a mapping from relation names to sets of tuples.
+    """A minimal indexed fact store: relation names to sets of tuples.
 
-    Exposes the same ``tuples(relation_name)`` interface as
+    Exposes the same ``tuples`` / ``tuples_matching`` interface as
     :class:`~repro.data.instance.Instance`, which is all the homomorphism
     search needs.
     """
@@ -42,18 +64,40 @@ class CanonicalInstance:
         self, facts: Optional[Mapping[str, Iterable[Tuple[object, ...]]]] = None
     ) -> None:
         self._tuples: Dict[str, Set[Tuple[object, ...]]] = {}
+        self._indexes: Dict[str, Dict[Tuple[int, object], Set[Tuple[object, ...]]]] = {}
         if facts:
             for relation_name, rows in facts.items():
-                self._tuples[relation_name] = {tuple(row) for row in rows}
+                for row in rows:
+                    self.add(relation_name, row)
 
     def add(self, relation_name: str, values: Sequence[object]) -> None:
         """Add a fact without any validation."""
-        self._tuples.setdefault(relation_name, set()).add(tuple(values))
+        row = tuple(values)
+        rows = self._tuples.setdefault(relation_name, set())
+        if row in rows:
+            return
+        rows.add(row)
+        index_add(self._indexes.setdefault(relation_name, {}), row)
 
     def tuples(self, relation: Union[str, object]) -> FrozenSet[Tuple[object, ...]]:
         """Tuples stored for the relation (empty if unknown)."""
         name = relation if isinstance(relation, str) else getattr(relation, "name")
         return frozenset(self._tuples.get(name, set()))
+
+    def tuples_matching(
+        self, relation: Union[str, object], bound: Mapping[int, object]
+    ) -> Iterable[Tuple[object, ...]]:
+        """Tuples agreeing with ``bound`` (``place -> value``), via the index.
+
+        Canonical instances follow a build-then-query lifecycle, so internal
+        sets may be returned directly; do not mutate them, and do not mutate
+        the store while iterating lazily over matches.
+        """
+        name = relation if isinstance(relation, str) else getattr(relation, "name")
+        rows = self._tuples.get(name)
+        if rows is None:
+            return _EMPTY
+        return candidates_from_index(rows, self._indexes.get(name, {}), bound)
 
     def contains(self, relation_name: str, values: Sequence[object]) -> bool:
         """Whether the fact is stored."""
@@ -62,6 +106,11 @@ class CanonicalInstance:
     def relation_names(self) -> FrozenSet[str]:
         """Names of the relations having at least one fact."""
         return frozenset(name for name, rows in self._tuples.items() if rows)
+
+    def relation_size(self, relation: Union[str, object]) -> int:
+        """Number of tuples stored for the relation (0 if unknown)."""
+        name = relation if isinstance(relation, str) else getattr(relation, "name")
+        return len(self._tuples.get(name, ()))
 
     def size(self) -> int:
         """Total number of facts."""
@@ -79,6 +128,19 @@ class CanonicalInstance:
 FactStore = object
 
 
+def _relation_size(data: FactStore, relation_name: str) -> int:
+    sizer = getattr(data, "relation_size", None)
+    if sizer is not None:
+        try:
+            return sizer(relation_name)
+        except Exception:  # pragma: no cover - defensive
+            return 0
+    try:
+        return len(data.tuples(relation_name))
+    except Exception:  # pragma: no cover - defensive
+        return 0
+
+
 def _atom_order(atoms: Sequence[Atom], data: FactStore) -> List[Atom]:
     """Greedy join order: prefer atoms with many already-bound variables."""
     remaining = list(atoms)
@@ -89,11 +151,7 @@ def _atom_order(atoms: Sequence[Atom], data: FactStore) -> List[Atom]:
             unbound = sum(
                 1 for term in atom.terms if is_variable(term) and term not in bound
             )
-            try:
-                relation_size = len(data.tuples(atom.relation.name))
-            except Exception:  # pragma: no cover - defensive
-                relation_size = 0
-            return (unbound, relation_size)
+            return (unbound, _relation_size(data, atom.relation.name))
 
         best = min(remaining, key=score)
         remaining.remove(best)
@@ -106,6 +164,15 @@ def _match_atom(
     atom: Atom, data: FactStore, assignment: Dict[Variable, object]
 ) -> Iterator[Dict[Variable, object]]:
     """Yield extensions of ``assignment`` making ``atom`` a fact of ``data``."""
+    matcher = getattr(data, "tuples_matching", None)
+    if matcher is not None:
+        # Indexed path: constants and already-bound variables become index
+        # constraints, so only compatible tuples are enumerated.
+        bound, free = split_bound_free(atom.terms, assignment)
+        rows = matcher(atom.relation.name, bound)
+        yield from iter_bound_matches(rows, free, assignment, arity=len(atom.terms))
+        return
+
     rows = data.tuples(atom.relation.name)
     for row in rows:
         extension = dict(assignment)

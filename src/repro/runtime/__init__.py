@@ -1,0 +1,26 @@
+"""Runtime layer: memoized relevance verdicts, batched execution, metrics.
+
+This package hosts the pieces a *production* dynamic-answering deployment
+needs around the paper's decision procedures:
+
+* :class:`~repro.runtime.cache.RelevanceOracle` — memoizes immediate
+  relevance, long-term relevance, and certainty verdicts, keyed by the
+  access and the configuration's content fingerprint;
+* :class:`~repro.runtime.executor.AccessExecutor` — deduplicating, batched
+  access execution against a :class:`~repro.sources.service.Mediator`;
+* :class:`~repro.runtime.metrics.RuntimeMetrics` — counters and timers the
+  other components record into.
+"""
+
+from repro.runtime.cache import LRUCache, RelevanceOracle, access_key
+from repro.runtime.executor import AccessExecutor, BatchResult
+from repro.runtime.metrics import RuntimeMetrics
+
+__all__ = [
+    "AccessExecutor",
+    "BatchResult",
+    "LRUCache",
+    "RelevanceOracle",
+    "RuntimeMetrics",
+    "access_key",
+]

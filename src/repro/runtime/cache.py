@@ -1,0 +1,185 @@
+"""Memoized relevance verdicts: the :class:`RelevanceOracle`.
+
+The paper's runtime-relevance procedures (immediate relevance, long-term
+relevance, certainty) are pure functions of the query, the access, and the
+*content* of the configuration.  A dynamic answering run asks the same
+questions over and over: an access judged irrelevant this round is judged
+again next round, and the configuration has usually not changed in between.
+The oracle memoizes every verdict keyed by ``(kind, access, configuration
+fingerprint)``, where the fingerprint is the O(1) content hash maintained by
+:class:`~repro.data.instance.Instance` — so a cache hit costs two dictionary
+lookups instead of a witness search.
+
+Entries are evicted least-recently-used beyond ``max_entries`` so a
+long-running mediator cannot grow the cache without bound.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.core import ContainmentOptions, is_immediately_relevant, is_long_term_relevant
+from repro.data import Configuration
+from repro.queries import is_certain
+from repro.runtime.metrics import RuntimeMetrics
+from repro.schema import Access, Schema
+
+__all__ = ["LRUCache", "RelevanceOracle", "access_key"]
+
+
+def access_key(access: Access) -> Tuple[str, Tuple[object, ...]]:
+    """A hashable identity for an access: its method name and binding."""
+    return (access.method.name, tuple(access.binding))
+
+
+class LRUCache:
+    """A small LRU map with hit/miss accounting."""
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable, default: object = None) -> object:
+        """Look up ``key``, refreshing its recency on a hit."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return default
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Store ``key`` and evict the least-recently-used overflow."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        if self._max_entries is not None:
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+
+_MISSING = object()
+
+
+class RelevanceOracle:
+    """Memoized relevance and certainty decisions for one Boolean query.
+
+    The oracle wraps the facade procedures of :mod:`repro.core` behind a
+    cache keyed by ``(kind, access, configuration fingerprint)``.  Because
+    the underlying procedures are deterministic functions of the
+    configuration's content, a cache hit always returns the verdict the
+    procedure would have computed — the property tests assert exactly this.
+    """
+
+    def __init__(
+        self,
+        query,
+        schema: Schema,
+        *,
+        options: Optional[ContainmentOptions] = None,
+        ltr_method: str = "auto",
+        metrics: Optional[RuntimeMetrics] = None,
+        max_entries: Optional[int] = 65536,
+    ) -> None:
+        self._query = query if query.is_boolean else query.boolean_closure()
+        self._schema = schema
+        self._options = options
+        self._ltr_method = ltr_method
+        self._metrics = metrics if metrics is not None else RuntimeMetrics()
+        self._cache = LRUCache(max_entries)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def query(self):
+        """The Boolean query the oracle answers about."""
+        return self._query
+
+    @property
+    def schema(self) -> Schema:
+        """The schema the oracle's verdicts were computed against."""
+        return self._schema
+
+    @property
+    def metrics(self) -> RuntimeMetrics:
+        """The metrics sink the oracle records into."""
+        return self._metrics
+
+    @property
+    def cache_hits(self) -> int:
+        """Number of verdicts served from the cache."""
+        return self._cache.hits
+
+    @property
+    def cache_misses(self) -> int:
+        """Number of verdicts computed by the underlying procedures."""
+        return self._cache.misses
+
+    def stats(self) -> Dict[str, int]:
+        """Cache statistics as a plain dictionary."""
+        return {
+            "hits": self._cache.hits,
+            "misses": self._cache.misses,
+            "entries": len(self._cache),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Memoized decisions
+    # ------------------------------------------------------------------ #
+    def _memoized(self, key: Hashable, compute) -> bool:
+        cached = self._cache.get(key, _MISSING)
+        if cached is not _MISSING:
+            self._metrics.incr("oracle.hits")
+            return bool(cached)
+        self._metrics.incr("oracle.misses")
+        verdict = bool(compute())
+        self._cache.put(key, verdict)
+        return verdict
+
+    def is_certain(self, configuration: Configuration) -> bool:
+        """Memoized certainty of the query at ``configuration``."""
+        key = ("certain", configuration.fingerprint())
+        with self._metrics.timer("oracle.certain"):
+            return self._memoized(key, lambda: is_certain(self._query, configuration))
+
+    def immediately_relevant(self, access: Access, configuration: Configuration) -> bool:
+        """Memoized immediate relevance of ``access`` at ``configuration``."""
+        key = ("ir", access_key(access), configuration.fingerprint())
+        with self._metrics.timer("oracle.immediate"):
+            return self._memoized(
+                key,
+                lambda: is_immediately_relevant(self._query, access, configuration),
+            )
+
+    def long_term_relevant(self, access: Access, configuration: Configuration) -> bool:
+        """Memoized long-term relevance of ``access`` at ``configuration``."""
+        key = ("ltr", access_key(access), configuration.fingerprint())
+        with self._metrics.timer("oracle.long_term"):
+            return self._memoized(
+                key,
+                lambda: is_long_term_relevant(
+                    self._query,
+                    access,
+                    configuration,
+                    self._schema,
+                    method=self._ltr_method,
+                    options=self._options,
+                ),
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RelevanceOracle(query={getattr(self._query, 'name', None)!r}, "
+            f"hits={self._cache.hits}, misses={self._cache.misses})"
+        )

@@ -1,0 +1,99 @@
+"""Batched access execution against a mediator.
+
+The answering strategies of :mod:`repro.planner.dynamic` used to interleave
+bookkeeping (which accesses were already made, how many facts each returned)
+with strategy logic.  :class:`AccessExecutor` centralises that bookkeeping:
+
+* it deduplicates accesses, so an access performed once is never re-sent to a
+  source;
+* it executes *batches* — for the exhaustive strategy, a whole round of
+  candidate accesses is dispatched in one call;
+* it records per-run metrics (accesses performed, skipped, facts retrieved).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.data import AccessResponse
+from repro.runtime.cache import access_key
+from repro.runtime.metrics import RuntimeMetrics
+from repro.schema import Access
+from repro.sources.service import Mediator
+
+__all__ = ["AccessExecutor", "BatchResult"]
+
+
+@dataclass
+class BatchResult:
+    """Outcome of a batch of accesses."""
+
+    responses: List[AccessResponse] = field(default_factory=list)
+    performed: int = 0
+    skipped: int = 0
+
+    @property
+    def facts_returned(self) -> int:
+        """Total tuples returned across the batch's responses."""
+        return sum(len(response) for response in self.responses)
+
+    @property
+    def progressed(self) -> bool:
+        """Whether at least one access of the batch returned a tuple."""
+        return any(len(response) > 0 for response in self.responses)
+
+
+class AccessExecutor:
+    """Deduplicating, metric-recording executor over one mediator."""
+
+    def __init__(self, mediator: Mediator, *, metrics: Optional[RuntimeMetrics] = None) -> None:
+        self._mediator = mediator
+        self._metrics = metrics if metrics is not None else RuntimeMetrics()
+        self._performed: Set[Tuple[str, Tuple[object, ...]]] = set()
+
+    @property
+    def mediator(self) -> Mediator:
+        """The mediator accesses are executed against."""
+        return self._mediator
+
+    @property
+    def metrics(self) -> RuntimeMetrics:
+        """The metrics sink the executor records into."""
+        return self._metrics
+
+    def key(self, access: Access) -> Tuple[str, Tuple[object, ...]]:
+        """The deduplication key of an access (shared with the oracle)."""
+        return access_key(access)
+
+    def already_performed(self, access: Access) -> bool:
+        """Whether the executor has already performed this access."""
+        return self.key(access) in self._performed
+
+    def has_performed_key(self, key: Tuple[str, Tuple[object, ...]]) -> bool:
+        """Key-based variant of :meth:`already_performed` (no Access needed)."""
+        return key in self._performed
+
+    def execute(self, access: Access) -> Optional[AccessResponse]:
+        """Perform one access (``None`` if it was already performed)."""
+        key = self.key(access)
+        if key in self._performed:
+            self._metrics.incr("executor.skipped")
+            return None
+        response = self._mediator.perform(access)
+        self._performed.add(key)
+        self._metrics.incr("executor.performed")
+        self._metrics.incr("executor.facts", len(response))
+        return response
+
+    def execute_batch(self, accesses: Iterable[Access]) -> BatchResult:
+        """Perform every not-yet-performed access of the batch, in order."""
+        result = BatchResult()
+        for access in accesses:
+            response = self.execute(access)
+            if response is None:
+                result.skipped += 1
+                continue
+            result.performed += 1
+            result.responses.append(response)
+        return result

@@ -1,0 +1,71 @@
+"""Lightweight runtime metrics: counters and wall-clock timers.
+
+The runtime layer (oracle, executor, mediator) records how much work it does
+— accesses performed, facts retrieved, cache hits and misses, time spent in
+relevance procedures — so benchmark runs and production deployments can
+observe the effect of memoization without attaching a profiler.  The
+implementation is deliberately dependency-free: plain dictionaries, explicit
+snapshots.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+__all__ = ["RuntimeMetrics"]
+
+
+class RuntimeMetrics:
+    """A bag of named counters and cumulative timers."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        self._timers: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # Counters
+    # ------------------------------------------------------------------ #
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def count(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self._counters.get(name, 0)
+
+    # ------------------------------------------------------------------ #
+    # Timers
+    # ------------------------------------------------------------------ #
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Accumulate the wall-clock duration of the ``with`` body."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self._timers[name] = self._timers.get(name, 0.0) + elapsed
+
+    def elapsed(self, name: str) -> float:
+        """Cumulative seconds recorded under timer ``name``."""
+        return self._timers.get(name, 0.0)
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, object]:
+        """A plain-dict snapshot (counters and timers)."""
+        return {
+            "counters": dict(self._counters),
+            "timers": dict(self._timers),
+        }
+
+    def reset(self) -> None:
+        """Drop all recorded values."""
+        self._counters.clear()
+        self._timers.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RuntimeMetrics(counters={self._counters!r})"

@@ -44,6 +44,12 @@ class AbstractDomain:
     def __post_init__(self) -> None:
         if not self.name:
             raise SchemaError("an abstract domain must have a non-empty name")
+        # Domains are hashed on every active-domain and index operation;
+        # precompute the hash once instead of re-hashing the name each time.
+        object.__setattr__(self, "_hash", hash((self.__class__, self.name)))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
 
     @property
     def is_enumerated(self) -> bool:

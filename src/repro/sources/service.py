@@ -18,7 +18,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runtime imports us)
+    from repro.runtime.metrics import RuntimeMetrics
 
 from repro.data import (
     AccessResponse,
@@ -80,8 +83,11 @@ class DataSource:
                 f"{access.method.name!r}"
             )
         self.calls += 1
+        # Serve the access from the hidden instance's (place, constant)
+        # indexes: only tuples agreeing with the binding are enumerated.
         matching = sorted(
-            access.select(self._hidden.tuples(access.relation)), key=repr
+            self._hidden.tuples_matching(access.relation, access.binding_by_place),
+            key=repr,
         )
         if self._completeness >= 1.0:
             chosen: Sequence[Tuple[object, ...]] = matching
@@ -89,7 +95,9 @@ class DataSource:
             chosen = [
                 row for row in matching if self._random.random() <= self._completeness
             ]
-        return AccessResponse(access, tuple(chosen))
+        # The tuples come from an index lookup keyed on the binding, over an
+        # instance validated at construction: skip per-tuple re-validation.
+        return AccessResponse.trusted(access, tuple(chosen))
 
 
 class Mediator:
@@ -105,6 +113,8 @@ class Mediator:
         schema: Schema,
         sources: Iterable[DataSource],
         initial_configuration: Optional[Configuration] = None,
+        *,
+        metrics: Optional["RuntimeMetrics"] = None,
     ) -> None:
         self._schema = schema
         self._sources: Dict[str, DataSource] = {}
@@ -120,6 +130,7 @@ class Mediator:
             else Configuration.empty(schema)
         )
         self._log: List[Tuple[Access, int]] = []
+        self._metrics = metrics
 
     # ------------------------------------------------------------------ #
     # State
@@ -133,6 +144,21 @@ class Mediator:
     def configuration(self) -> Configuration:
         """The facts retrieved so far (a copy; mutate via :meth:`perform`)."""
         return self._configuration.copy()
+
+    @property
+    def configuration_view(self) -> Configuration:
+        """A *live, read-only* view of the current configuration.
+
+        Unlike :attr:`configuration` this does not copy; the returned object
+        changes as accesses are performed.  Callers must not mutate it — the
+        answering strategies use it to avoid per-candidate deep copies.
+        """
+        return self._configuration
+
+    @property
+    def fingerprint(self) -> Tuple[int, ...]:
+        """The content fingerprint of the current configuration."""
+        return self._configuration.fingerprint()
 
     @property
     def access_count(self) -> int:
@@ -159,14 +185,37 @@ class Mediator:
         return is_well_formed(access, self._configuration)
 
     def perform(self, access: Access) -> AccessResponse:
-        """Perform a well-formed access and merge its response."""
+        """Perform a well-formed access and merge its response.
+
+        The response facts are merged into the configuration *in place* (the
+        indexed instance absorbs them incrementally); external snapshots taken
+        via :attr:`configuration` are unaffected.
+        """
         if not self.can_perform(access):
             raise AccessError(
                 f"access {access!r} is not well-formed at the current configuration"
             )
         response = self.source_for(access.method.name).respond(access)
-        self._configuration = self._configuration.extended_with(response.as_facts())
+        relation_name = access.relation.name
+        configuration = self._configuration
+        # All-or-nothing merge: if a response tuple fails validation part-way
+        # (possible with duck-typed sources), roll the merged prefix back so
+        # the configuration never keeps facts from a failed access.
+        added: List[Tuple[object, ...]] = []
+        try:
+            for values in response.facts:
+                if configuration.add(relation_name, values):
+                    added.append(values)
+        except Exception:
+            for values in added:
+                configuration.remove(relation_name, values)
+            raise
+        new_facts = len(added)
         self._log.append((access, len(response)))
+        if self._metrics is not None:
+            self._metrics.incr("mediator.accesses")
+            self._metrics.incr("mediator.facts_returned", len(response))
+            self._metrics.incr("mediator.facts_new", new_facts)
         return response
 
     def seed_constants(self, constants: Iterable[Tuple[object, object]]) -> None:

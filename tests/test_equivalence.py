@@ -1,0 +1,182 @@
+"""Equivalence properties for the indexed evaluation core.
+
+The indexed paths introduced for performance must be *observationally
+identical* to the naive reference implementations they replaced:
+
+* indexed homomorphism search over an :class:`Instance` /
+  :class:`CanonicalInstance` returns exactly the assignments a scan-based
+  search returns;
+* indexed semi-naive Datalog evaluation computes the same fixpoint as the
+  naive evaluator, on the accessible-part program and on recursive programs;
+* the incremental caches of :class:`Instance` (active domain, fingerprint,
+  per-domain pools) agree with recomputation from scratch after arbitrary
+  add/remove sequences.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Configuration, Instance, SchemaBuilder
+from repro.datalog import accessible_program
+from repro.datalog.engine import evaluate_program, evaluate_program_naive
+from repro.queries import find_homomorphisms
+from repro.workloads import random_cq
+
+
+def _schema():
+    builder = SchemaBuilder()
+    builder.domain("D")
+    builder.relation("R", [("a", "D"), ("b", "D")])
+    builder.relation("S", [("a", "D"), ("b", "D")])
+    builder.access("mR", "R", inputs=["b"], dependent=True)
+    builder.access("mS", "S", inputs=[], dependent=False)
+    return builder.build()
+
+
+SCHEMA = _schema()
+VALUES = st.sampled_from(["v0", "v1", "v2", "v3"])
+PAIRS = st.tuples(VALUES, VALUES)
+FACTSETS = st.fixed_dictionaries(
+    {
+        "R": st.lists(PAIRS, max_size=6),
+        "S": st.lists(PAIRS, max_size=6),
+    }
+)
+QUERIES = st.integers(min_value=0, max_value=300).map(
+    lambda seed: random_cq(SCHEMA, atoms=3, variables=3, seed=seed)
+)
+
+common_settings = settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class _ScanStore:
+    """A fact store exposing only ``tuples``: forces the scan fallback."""
+
+    def __init__(self, instance: Instance) -> None:
+        self._instance = instance
+
+    def tuples(self, relation):
+        return self._instance.tuples(relation)
+
+
+def _assignment_set(assignments):
+    return {frozenset(assignment.items()) for assignment in assignments}
+
+
+@common_settings
+@given(facts=FACTSETS, query=QUERIES)
+def test_indexed_homomorphisms_match_scan_search(facts, query):
+    instance = Instance(SCHEMA, facts)
+    indexed = _assignment_set(find_homomorphisms(query.atoms, instance))
+    scanned = _assignment_set(find_homomorphisms(query.atoms, _ScanStore(instance)))
+    assert indexed == scanned
+
+
+@common_settings
+@given(facts=FACTSETS, seeds=st.lists(VALUES, min_size=1, max_size=2))
+def test_semi_naive_accessible_program_matches_naive(facts, seeds):
+    instance = Instance(SCHEMA, facts)
+    configuration = Configuration.empty(SCHEMA)
+    domain = SCHEMA.relation("R").domain_of(0)
+    for seed in seeds:
+        configuration.add_constant(seed, domain)
+    program = accessible_program(SCHEMA)
+    edb = {relation.name: instance.tuples(relation) for relation in SCHEMA.relations}
+    for value, dom in configuration.active_domain():
+        edb.setdefault(f"acc_dom__{dom.name}", set()).add((value,))
+    fast = evaluate_program(program, edb)
+    slow = evaluate_program_naive(program, edb)
+    assert {k: v for k, v in fast.items() if v} == {k: v for k, v in slow.items() if v}
+
+
+@common_settings
+@given(edges=st.lists(PAIRS, max_size=8))
+def test_semi_naive_transitive_closure_matches_naive(edges):
+    from repro.datalog.program import Literal, Program, Rule
+    from repro.queries.terms import Variable
+
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    program = Program(
+        [
+            Rule(Literal("t", (x, y)), (Literal("e", (x, y)),)),
+            Rule(Literal("t", (x, z)), (Literal("t", (x, y)), Literal("e", (y, z)))),
+        ]
+    )
+    edb = {"e": set(edges)}
+    fast = evaluate_program(program, edb)
+    slow = evaluate_program_naive(program, edb)
+    assert fast.get("t", set()) == slow.get("t", set())
+
+
+@common_settings
+@given(
+    facts=FACTSETS,
+    removals=st.lists(st.tuples(st.sampled_from(["R", "S"]), PAIRS), max_size=4),
+    additions=st.lists(st.tuples(st.sampled_from(["R", "S"]), PAIRS), max_size=4),
+)
+def test_incremental_caches_agree_with_recomputation(facts, removals, additions):
+    instance = Instance(SCHEMA, facts)
+    for relation, row in removals:
+        instance.remove(relation, row)
+    for relation, row in additions:
+        instance.add(relation, row)
+
+    rebuilt = Instance(SCHEMA)
+    for fact in instance.facts():
+        rebuilt.add_fact(fact)
+
+    assert instance.active_domain() == rebuilt.active_domain()
+    assert instance.fingerprint() == rebuilt.fingerprint()
+    assert instance.size() == rebuilt.size()
+    assert instance.active_values_by_domain() == rebuilt.active_values_by_domain()
+    # Index consistency: every bound lookup equals a filtered scan.
+    for relation in ("R", "S"):
+        for row in instance.tuples(relation):
+            for place, value in enumerate(row):
+                via_index = set(instance.tuples_matching(relation, {place: value}))
+                via_scan = {
+                    other
+                    for other in instance.tuples(relation)
+                    if other[place] == value
+                }
+                assert via_index == via_scan
+
+
+def test_fingerprint_distinguishes_minus_one_from_minus_two():
+    """Regression: CPython's hash(-1) == hash(-2) must not collide
+    fingerprints of configurations over ordinary integer data."""
+    builder = SchemaBuilder()
+    builder.domain("N")
+    builder.relation("T", [("a", "N")])
+    schema = builder.build()
+    one = Instance(schema, {"T": [(-1,)]})
+    two = Instance(schema, {"T": [(-2,)]})
+    assert one.fingerprint() != two.fingerprint()
+
+    domain = schema.relation("T").domain_of(0)
+    c1 = Configuration(schema)
+    c1.add_constant(-1, domain)
+    c2 = Configuration(schema)
+    c2.add_constant(-2, domain)
+    assert c1.fingerprint() != c2.fingerprint()
+
+
+@common_settings
+@given(facts=FACTSETS, extra=PAIRS)
+def test_fingerprint_is_content_based(facts, extra):
+    one = Instance(SCHEMA, facts)
+    # Same content inserted in a different order fingerprints identically.
+    other = Instance(SCHEMA)
+    for fact in reversed(list(one.facts())):
+        other.add_fact(fact)
+    assert one.fingerprint() == other.fingerprint()
+
+    changed = one.copy()
+    if changed.add("R", extra):
+        assert changed.fingerprint() != one.fingerprint()
+        changed.remove("R", extra)
+        assert changed.fingerprint() == one.fingerprint()

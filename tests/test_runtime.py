@@ -1,0 +1,270 @@
+"""Tests for the runtime layer: RelevanceOracle, AccessExecutor, metrics.
+
+The load-bearing property is that memoization is *invisible*: a cache hit
+returns exactly the verdict the underlying procedure computes, for every
+reachable configuration content.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Access,
+    Configuration,
+    Instance,
+    RelevanceOracle,
+    RuntimeMetrics,
+    SchemaBuilder,
+    is_immediately_relevant,
+    is_long_term_relevant,
+)
+from repro.runtime import AccessExecutor, LRUCache
+from repro.sources import DataSource, Mediator
+from repro.workloads import random_cq
+
+
+def _schema():
+    builder = SchemaBuilder()
+    builder.domain("D")
+    builder.relation("R", [("a", "D"), ("b", "D")])
+    builder.relation("S", [("a", "D"), ("b", "D")])
+    builder.access("mR", "R", inputs=["b"], dependent=False)
+    builder.access("mS", "S", inputs=["a"], dependent=False)
+    return builder.build()
+
+
+SCHEMA = _schema()
+VALUES = st.sampled_from(["v0", "v1", "v2"])
+PAIRS = st.tuples(VALUES, VALUES)
+FACTSETS = st.fixed_dictionaries(
+    {
+        "R": st.lists(PAIRS, max_size=4),
+        "S": st.lists(PAIRS, max_size=4),
+    }
+)
+QUERIES = st.integers(min_value=0, max_value=150).map(
+    lambda seed: random_cq(SCHEMA, atoms=2, variables=2, seed=seed)
+)
+
+common_settings = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@common_settings
+@given(query=QUERIES, facts=FACTSETS, binding=VALUES, extra=PAIRS)
+def test_oracle_cache_hits_never_change_a_verdict(query, facts, binding, extra):
+    configuration = Configuration(SCHEMA, facts)
+    access = Access(SCHEMA.access_method("mR"), (binding,))
+    oracle = RelevanceOracle(query, SCHEMA)
+
+    first_ir = oracle.immediately_relevant(access, configuration)
+    first_ltr = oracle.long_term_relevant(access, configuration)
+    first_certain = oracle.is_certain(configuration)
+
+    # Repeats are cache hits and must return the same verdicts.
+    hits_before = oracle.cache_hits
+    assert oracle.immediately_relevant(access, configuration) == first_ir
+    assert oracle.long_term_relevant(access, configuration) == first_ltr
+    assert oracle.is_certain(configuration) == first_certain
+    assert oracle.cache_hits == hits_before + 3
+
+    # And they agree with the unmemoized procedures.
+    boolean_query = oracle.query
+    assert first_ir == is_immediately_relevant(boolean_query, access, configuration)
+    assert first_ltr == is_long_term_relevant(
+        boolean_query, access, configuration, SCHEMA
+    )
+
+    # Mutating the configuration changes the fingerprint: verdicts are
+    # recomputed for the new content, and remain correct.
+    mutated = configuration.extended_with([])
+    mutated.add("R", extra)
+    assert oracle.immediately_relevant(access, mutated) == is_immediately_relevant(
+        boolean_query, access, mutated
+    )
+
+
+@common_settings
+@given(facts=FACTSETS, extra=PAIRS)
+def test_fingerprint_distinguishes_mutations_and_restores(facts, extra):
+    configuration = Configuration(SCHEMA, facts)
+    before = configuration.fingerprint()
+    if configuration.add("R", extra):
+        assert configuration.fingerprint() != before
+        configuration.remove("R", extra)
+    assert configuration.fingerprint() == before
+
+    domain = SCHEMA.relation("R").domain_of(0)
+    configuration.add_constant("seeded", domain)
+    assert configuration.fingerprint() != before
+
+
+def test_fingerprint_copy_equality():
+    configuration = Configuration(SCHEMA, {"R": [("a", "b")]})
+    domain = SCHEMA.relation("R").domain_of(0)
+    configuration.add_constant("c", domain)
+    clone = configuration.copy()
+    assert clone.fingerprint() == configuration.fingerprint()
+    clone.add("S", ("x", "y"))
+    assert clone.fingerprint() != configuration.fingerprint()
+
+
+def test_executor_deduplicates_accesses():
+    instance = Instance(SCHEMA, {"R": [("a", "b"), ("c", "b")], "S": [("b", "d")]})
+    mediator = Mediator(
+        SCHEMA,
+        [DataSource(method, instance) for method in SCHEMA.access_methods],
+    )
+    metrics = RuntimeMetrics()
+    executor = AccessExecutor(mediator, metrics=metrics)
+    access = Access(SCHEMA.access_method("mR"), ("b",))
+
+    first = executor.execute(access)
+    assert first is not None and len(first) == 2
+    assert executor.already_performed(access)
+    assert executor.execute(access) is None
+    assert mediator.access_count == 1
+    assert metrics.count("executor.performed") == 1
+    assert metrics.count("executor.skipped") == 1
+    assert metrics.count("executor.facts") == 2
+
+
+def test_executor_batch_reports_progress():
+    instance = Instance(SCHEMA, {"R": [("a", "b")], "S": []})
+    mediator = Mediator(
+        SCHEMA,
+        [DataSource(method, instance) for method in SCHEMA.access_methods],
+    )
+    executor = AccessExecutor(mediator)
+    batch = executor.execute_batch(
+        [
+            Access(SCHEMA.access_method("mR"), ("b",)),
+            Access(SCHEMA.access_method("mS"), ("b",)),
+            Access(SCHEMA.access_method("mR"), ("b",)),  # duplicate
+        ]
+    )
+    assert batch.performed == 2
+    assert batch.skipped == 1
+    assert batch.progressed
+    assert batch.facts_returned == 1
+
+
+def test_mediator_view_tracks_and_snapshot_does_not():
+    instance = Instance(SCHEMA, {"R": [("a", "b")]})
+    mediator = Mediator(
+        SCHEMA,
+        [DataSource(method, instance) for method in SCHEMA.access_methods],
+    )
+    view = mediator.configuration_view
+    snapshot = mediator.configuration
+    mediator.perform(Access(SCHEMA.access_method("mR"), ("b",)))
+    assert view.contains("R", ("a", "b"))
+    assert not snapshot.contains("R", ("a", "b"))
+    assert mediator.fingerprint == view.fingerprint()
+
+
+def test_lazy_iteration_survives_live_view_mutation():
+    """Regression: iterating answers over the live view while the mediator
+    merges new facts must not raise (tuples_matching snapshots)."""
+    from repro.queries import satisfying_assignments
+
+    instance = Instance(SCHEMA, {"R": [("a", "b"), ("c", "b"), ("d", "e")]})
+    mediator = Mediator(
+        SCHEMA,
+        [DataSource(method, instance) for method in SCHEMA.access_methods],
+    )
+    mediator.perform(Access(SCHEMA.access_method("mR"), ("b",)))
+    query = random_cq(SCHEMA, atoms=1, variables=2, seed=5)
+    iterator = satisfying_assignments(query, mediator.configuration_view)
+    next(iterator, None)
+    mediator.perform(Access(SCHEMA.access_method("mR"), ("e",)))
+    list(iterator)  # must not raise RuntimeError
+
+
+def test_guided_strategy_rejects_mismatched_oracle_and_reports_per_run_hits():
+    import pytest
+
+    from repro.exceptions import QueryError
+    from repro.planner import relevance_guided_strategy
+    from repro.sources import build_bank_scenario
+
+    bank = build_bank_scenario(employees=3, offices=2, states=2, known_employees=1)
+    other_query = random_cq(SCHEMA, atoms=2, variables=2, seed=9)
+    wrong_oracle = RelevanceOracle(other_query, SCHEMA)
+    with pytest.raises(QueryError):
+        relevance_guided_strategy(bank.mediator(), bank.query, oracle=wrong_oracle)
+
+    wrong_schema_oracle = RelevanceOracle(bank.query, SCHEMA)  # not the mediator's schema
+    with pytest.raises(QueryError):
+        relevance_guided_strategy(
+            bank.mediator(), bank.query, oracle=wrong_schema_oracle
+        )
+
+    oracle = RelevanceOracle(bank.query, bank.schema)
+    first = relevance_guided_strategy(bank.mediator(), bank.query, oracle=oracle)
+    second = relevance_guided_strategy(bank.mediator(), bank.query, oracle=oracle)
+    # cache_hits is per run: the second run's count must not include the
+    # first run's hits (the shared oracle's lifetime counter keeps growing).
+    assert oracle.cache_hits >= first.cache_hits + second.cache_hits
+    assert second.answers == first.answers
+
+
+def test_mediator_merge_is_atomic_on_invalid_response():
+    """A response that fails validation part-way must leave the
+    configuration untouched (no partially merged facts)."""
+    import pytest
+
+    from repro import AccessResponse
+    from repro.exceptions import SchemaError
+
+    class RogueSource:
+        def __init__(self, method):
+            self.method = method
+
+        def respond(self, access):
+            # Second tuple has the wrong arity; bypass response validation
+            # the way a buggy duck-typed source could.
+            return AccessResponse.trusted(access, (("ok", "b"), ("bad",)))
+
+    mediator = Mediator(SCHEMA, [RogueSource(SCHEMA.access_method("mR"))])
+    before = mediator.configuration_view.fingerprint()
+    with pytest.raises(SchemaError):
+        mediator.perform(Access(SCHEMA.access_method("mR"), ("b",)))
+    assert mediator.configuration_view.fingerprint() == before
+    assert mediator.access_count == 0
+
+
+def test_lru_cache_evicts_oldest():
+    cache = LRUCache(max_entries=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # refreshes "a"
+    cache.put("c", 3)  # evicts "b"
+    assert "b" not in cache
+    assert cache.get("a") == 1
+    assert cache.get("c") == 3
+    assert len(cache) == 2
+
+
+def test_metrics_counters_and_timers():
+    metrics = RuntimeMetrics()
+    metrics.incr("x")
+    metrics.incr("x", 4)
+    with metrics.timer("t"):
+        pass
+    snapshot = metrics.snapshot()
+    assert snapshot["counters"]["x"] == 5
+    assert snapshot["timers"]["t"] >= 0.0
+    metrics.reset()
+    assert metrics.count("x") == 0
+
+
+def test_oracle_requires_nothing_but_query_and_schema():
+    query = random_cq(SCHEMA, atoms=2, variables=2, seed=1)
+    oracle = RelevanceOracle(query, SCHEMA)
+    assert oracle.query.is_boolean
+    stats = oracle.stats()
+    assert stats == {"hits": 0, "misses": 0, "entries": 0}
