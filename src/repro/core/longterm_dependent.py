@@ -49,6 +49,7 @@ from repro.schema import Access, Schema
 
 __all__ = [
     "is_ltr_direct",
+    "find_ltr_witness_steps",
     "is_ltr_via_containment_cq",
     "is_ltr_via_containment_pq",
 ]
@@ -62,7 +63,33 @@ def _disjuncts(query) -> Sequence[ConjunctiveQuery]:
     raise QueryError(f"unsupported query type {type(query)!r}")
 
 
-def is_ltr_direct(
+def _witnessable_atom_checker(disjunct, configuration, schema, access):
+    """Per-atom feasibility for the witness-assignment enumeration.
+
+    A ground subgoal can participate in a witness when it is already in the
+    configuration, can be part of the probed access's response, or lies in a
+    relation that later accesses can produce.  Atoms over relations with an
+    access method are always witnessable, so the check short-circuits to the
+    interesting cases.
+    """
+    atoms = disjunct.atoms
+    always = [schema.has_access(atom.relation.name) for atom in atoms]
+    access_relation = access.relation.name if access is not None else None
+
+    def feasible(atom_index: int, values) -> bool:
+        if always[atom_index]:
+            return True
+        atom = atoms[atom_index]
+        if configuration.contains(atom.relation.name, values):
+            return True
+        if access is not None and atom.relation.name == access_relation:
+            return access.matches(values)
+        return False
+
+    return feasible
+
+
+def find_ltr_witness_steps(
     query,
     access: Access,
     configuration: Configuration,
@@ -70,12 +97,20 @@ def is_ltr_direct(
     *,
     options: Optional[ContainmentOptions] = None,
     max_assignments: Optional[int] = 200000,
-) -> bool:
-    """Bounded direct search for a long-term relevance witness.
+) -> Optional[Tuple[AccessResponse, ...]]:
+    """Bounded direct search for a long-term relevance witness path.
 
-    Sound: any ``True`` answer is backed by an explicit well-formed path whose
-    truncation does not satisfy the query.  Complete up to the search budgets
-    (fresh constants per domain, support facts, plans per guess).
+    Returns the steps of a well-formed path that starts with ``access``,
+    makes the query true at its end, and whose truncation does not satisfy
+    the query — or ``None`` when no witness was found within the budgets.
+    The returned steps are the raw material of the incremental engine in
+    :mod:`repro.runtime.witness`: a stored path can be *revalidated* against
+    a later configuration in time linear in its length instead of redoing
+    this search.
+
+    Sound: any non-``None`` answer is backed by the explicit path.  Complete
+    up to the search budgets (fresh constants per domain, support facts,
+    plans per guess).
 
     Two witness shapes are explored:
 
@@ -93,10 +128,11 @@ def is_ltr_direct(
         raise QueryError("long-term relevance is defined for Boolean queries")
     options = options or ContainmentOptions()
     if not is_well_formed(access, configuration):
-        return False
+        return None
     if is_certain(query, configuration):
-        return False
+        return None
 
+    searched: set = set()
     for disjunct in _disjuncts(query):
         variables = disjunct.variables
         variable_domains = disjunct.variable_domains()
@@ -109,6 +145,9 @@ def is_ltr_direct(
             schema=schema,
             fresh_per_domain=fresh_count,
             max_assignments=max_assignments,
+            atom_feasible=_witnessable_atom_checker(
+                disjunct, configuration, schema, access
+            ),
         ):
             first_facts: List[Fact] = []
             later_facts: List[Fact] = []
@@ -127,6 +166,13 @@ def is_ltr_direct(
                 break
             if not feasible or not first_facts:
                 continue
+            # Distinct assignments frequently ground to the same fact sets
+            # (they differ only on variables absorbed by the configuration);
+            # one production-plan search per fact-set suffices.
+            search_key = (frozenset(first_facts), frozenset(later_facts))
+            if search_key in searched:
+                continue
+            searched.add(search_key)
 
             first_response = AccessResponse(
                 access, tuple(fact.values for fact in first_facts)
@@ -141,15 +187,37 @@ def is_ltr_direct(
                 support_value_choices=options.support_value_choices,
                 max_nodes=options.max_nodes,
             ):
-                full_path = AccessPath(
-                    configuration.copy(), [first_response] + list(plan.path.steps)
-                )
+                steps = (first_response,) + tuple(plan.path.steps)
+                full_path = AccessPath(configuration.copy(), list(steps))
                 truncated = full_path.truncation().final_configuration()
                 if not evaluate_boolean(query, truncated):
-                    return True
+                    return steps
 
     return _ltr_via_generic_response(
         query, access, configuration, schema, options, max_assignments
+    )
+
+
+def is_ltr_direct(
+    query,
+    access: Access,
+    configuration: Configuration,
+    schema: Schema,
+    *,
+    options: Optional[ContainmentOptions] = None,
+    max_assignments: Optional[int] = 200000,
+) -> bool:
+    """Boolean facade over :func:`find_ltr_witness_steps`."""
+    return (
+        find_ltr_witness_steps(
+            query,
+            access,
+            configuration,
+            schema,
+            options=options,
+            max_assignments=max_assignments,
+        )
+        is not None
     )
 
 
@@ -160,11 +228,34 @@ def _ltr_via_generic_response(
     schema: Schema,
     options: ContainmentOptions,
     max_assignments: Optional[int],
-) -> bool:
+) -> Optional[Tuple[AccessResponse, ...]]:
     """Witness shape 2: the first access only contributes fresh output values."""
     method = access.method
     if not method.output_places:
-        return False
+        return None
+
+    # A generic response can matter in exactly two ways: a later dependent
+    # access (target or support) consumes one of its fresh output values, or
+    # a query subgoal is mapped onto the generic fact itself (so the
+    # truncation loses it).  When no dependent method consumes any of the
+    # output domains and no subgoal is binding-compatible, neither can
+    # happen and the whole search is provably fruitless.
+    relation = method.relation
+    output_domains = {relation.domain_of(place) for place in method.output_places}
+    consumable = {
+        other.relation.domain_of(place)
+        for other in schema.access_methods
+        if other.dependent
+        for place in other.input_places
+    }
+    if not (output_domains & consumable):
+        compatible_subgoal = any(
+            _compatible_with_access(atom, access)
+            for disjunct in _disjuncts(query)
+            for atom in disjunct.atoms
+        )
+        if not compatible_subgoal:
+            return None
 
     from repro.chase.fresh import FreshConstants
 
@@ -176,7 +267,7 @@ def _ltr_via_generic_response(
     for place in method.output_places:
         fresh_value = fresh.new(relation.domain_of(place))
         if fresh_value is None:
-            return False
+            return None
         values[place] = fresh_value
     first_fact = Fact(relation.name, tuple(values))
     first_response = AccessResponse(access, (tuple(values),))
@@ -185,6 +276,7 @@ def _ltr_via_generic_response(
     # fresh outputs; try those values first when enumerating assignments.
     fresh_outputs = tuple(values[place] for place in method.output_places)
 
+    searched: set = set()
     for disjunct in _disjuncts(query):
         variable_domains = disjunct.variable_domains()
         fresh_count = max(1, len(disjunct.variables))
@@ -198,6 +290,9 @@ def _ltr_via_generic_response(
             max_assignments=max_assignments,
             prefer_fresh=True,
             preferred_values=fresh_outputs,
+            atom_feasible=_witnessable_atom_checker(
+                disjunct, after_first, schema, None
+            ),
         ):
             later_facts: List[Fact] = []
             feasible = True
@@ -212,6 +307,10 @@ def _ltr_via_generic_response(
                 break
             if not feasible or not later_facts:
                 continue
+            search_key = frozenset(later_facts)
+            if search_key in searched:
+                continue
+            searched.add(search_key)
             for plan in iter_production_plans(
                 schema,
                 after_first,
@@ -221,13 +320,12 @@ def _ltr_via_generic_response(
                 support_value_choices=options.support_value_choices,
                 max_nodes=options.max_nodes,
             ):
-                full_path = AccessPath(
-                    configuration.copy(), [first_response] + list(plan.path.steps)
-                )
+                steps = (first_response,) + tuple(plan.path.steps)
+                full_path = AccessPath(configuration.copy(), list(steps))
                 truncated = full_path.truncation().final_configuration()
                 if not evaluate_boolean(query, truncated):
-                    return True
-    return False
+                    return steps
+    return None
 
 
 def _compatible_with_access(atom, access: Access) -> bool:
@@ -263,14 +361,27 @@ def is_ltr_via_containment_cq(
     if not is_well_formed(access, configuration):
         return False
 
-    compatible = [atom for atom in query.atoms if _compatible_with_access(atom, access)]
-    others = [atom for atom in query.atoms if atom not in compatible]
-    if not compatible:
+    # Partition by occurrence *index*, not by atom equality: a query may
+    # repeat a subgoal, and the membership split ``atom not in compatible``
+    # silently moves every equal copy to the compatible side, conflating
+    # distinct occurrences (and the subsets built from them).
+    compatible_indices = [
+        index
+        for index, atom in enumerate(query.atoms)
+        if _compatible_with_access(atom, access)
+    ]
+    compatible_set = set(compatible_indices)
+    others = [
+        atom
+        for index, atom in enumerate(query.atoms)
+        if index not in compatible_set
+    ]
+    if not compatible_indices:
         return False
 
-    for size in range(len(compatible)):
-        for subset in itertools.combinations(compatible, size):
-            lhs_atoms = list(subset) + others
+    for size in range(len(compatible_indices)):
+        for subset in itertools.combinations(compatible_indices, size):
+            lhs_atoms = [query.atoms[index] for index in subset] + others
             if not lhs_atoms:
                 # The empty conjunction is identically true; it is contained in
                 # Q iff Q holds at every reachable configuration, and the

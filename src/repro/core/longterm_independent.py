@@ -157,6 +157,8 @@ def is_ltr_independent(
     if not assume_not_certain and is_certain(query, configuration):
         return False
 
+    from repro.core.longterm_dependent import _witnessable_atom_checker
+
     for disjunct in _disjuncts(query):
         variables = disjunct.variables
         variable_domains = disjunct.variable_domains()
@@ -169,6 +171,9 @@ def is_ltr_independent(
             schema=schema,
             fresh_per_domain=fresh_count,
             max_assignments=max_assignments,
+            atom_feasible=_witnessable_atom_checker(
+                disjunct, configuration, schema, access
+            ),
         ):
             first_access_facts: List[Fact] = []
             later_facts: List[Fact] = []

@@ -25,7 +25,7 @@ from repro.queries import ConjunctiveQuery
 from repro.core.containment import ContainmentOptions
 from repro.core.immediate import is_immediately_relevant
 from repro.core.longterm_dependent import (
-    is_ltr_direct,
+    find_ltr_witness_steps,
     is_ltr_via_containment_cq,
     is_ltr_via_containment_pq,
 )
@@ -35,7 +35,11 @@ from repro.core.longterm_independent import (
 )
 from repro.schema import Access, Schema
 
-__all__ = ["is_immediately_relevant", "is_long_term_relevant"]
+__all__ = [
+    "is_immediately_relevant",
+    "is_long_term_relevant",
+    "long_term_relevance_with_witness",
+]
 
 
 def is_long_term_relevant(
@@ -59,35 +63,68 @@ def is_long_term_relevant(
         Proposition 4.5 procedure (only valid when all methods are
         independent); ``"single-occurrence"`` forces Proposition 4.3.
     """
+    verdict, _steps = long_term_relevance_with_witness(
+        query, access, configuration, schema, method=method, options=options
+    )
+    return verdict
+
+
+def long_term_relevance_with_witness(
+    query,
+    access: Access,
+    configuration: Configuration,
+    schema: Schema,
+    *,
+    method: str = "auto",
+    options: Optional[ContainmentOptions] = None,
+):
+    """Decide long-term relevance, returning ``(verdict, steps)``.
+
+    This holds the single copy of the ``method`` dispatch table;
+    :func:`is_long_term_relevant` is a facade over it.  ``steps`` is the
+    witness path of the direct search (the raw material of
+    :class:`repro.runtime.witness.LtrWitness`) when the dispatched procedure
+    is the direct search and the verdict is positive; ``None`` otherwise —
+    the reduction-based and independent-schema procedures decide without
+    constructing a reusable path.
+    """
     if not query.is_boolean:
         raise QueryError(
             "long-term relevance is defined for Boolean queries; reduce "
             "non-Boolean queries first (Proposition 2.2)"
         )
 
-    if method == "direct":
-        return is_ltr_direct(query, access, configuration, schema, options=options)
     if method == "containment-cq":
-        return is_ltr_via_containment_cq(
-            query, access, configuration, schema, options=options
+        return (
+            is_ltr_via_containment_cq(
+                query, access, configuration, schema, options=options
+            ),
+            None,
         )
     if method == "containment-pq":
-        return is_ltr_via_containment_pq(
-            query, access, configuration, schema, options=options
+        return (
+            is_ltr_via_containment_pq(
+                query, access, configuration, schema, options=options
+            ),
+            None,
         )
     if method == "independent":
-        return is_ltr_independent(query, access, configuration, schema)
+        return is_ltr_independent(query, access, configuration, schema), None
     if method == "single-occurrence":
-        return is_ltr_single_occurrence(query, access, configuration)
-    if method != "auto":
+        return is_ltr_single_occurrence(query, access, configuration), None
+    if method not in ("auto", "direct"):
         raise QueryError(f"unknown long-term relevance method {method!r}")
 
-    if schema.all_independent():
+    if method == "auto" and schema.all_independent():
         if (
             isinstance(query, ConjunctiveQuery)
             and query.occurrences(access.relation.name) == 1
             and all(schema.has_access(name) for name in query.relation_names())
         ):
-            return is_ltr_single_occurrence(query, access, configuration)
-        return is_ltr_independent(query, access, configuration, schema)
-    return is_ltr_direct(query, access, configuration, schema, options=options)
+            return is_ltr_single_occurrence(query, access, configuration), None
+        return is_ltr_independent(query, access, configuration, schema), None
+
+    steps = find_ltr_witness_steps(
+        query, access, configuration, schema, options=options
+    )
+    return steps is not None, steps

@@ -36,7 +36,12 @@ from repro.core import ContainmentOptions
 from repro.data import Configuration
 from repro.exceptions import QueryError
 from repro.queries import certain_answers
-from repro.runtime import AccessExecutor, RelevanceOracle, RuntimeMetrics
+from repro.runtime import (
+    AccessExecutor,
+    CandidateScreen,
+    RelevanceOracle,
+    RuntimeMetrics,
+)
 from repro.schema import Access, Schema
 from repro.sources.service import Mediator
 
@@ -149,7 +154,15 @@ def relevance_guided_strategy(
     share its verdict cache across runs over the same query and schema; in
     that case pass containment ``options`` when constructing the oracle
     (supplying both is rejected), and ``metrics`` only reaches the executor
-    (the oracle keeps recording into its own sink).
+    and the screening layer (the oracle keeps recording into its own sink).
+
+    Each round screens its candidates as a batch before touching the oracle:
+    candidates outside the relevant-relation closure are dropped, the rest
+    are grouped so structurally equivalent bindings share one verdict, and
+    only the accesses the screening judged relevant are executed — each one
+    re-checked against the configuration it actually runs at, which the
+    oracle answers incrementally (witness revalidation or delta inheritance)
+    rather than by a fresh search.
     """
     if not use_immediate and not use_long_term:
         raise QueryError("at least one relevance notion must be enabled")
@@ -173,6 +186,20 @@ def relevance_guided_strategy(
             "object than the mediator's; build it with mediator.schema"
         )
     executor = AccessExecutor(mediator, metrics=metrics)
+    screen = CandidateScreen(
+        boolean_query,
+        schema,
+        metrics=metrics if metrics is not None else oracle.metrics,
+    )
+    # The closure prefilter mirrors the bounded witness searches; the
+    # containment-reduction procedures do not share that structure, so a
+    # pre-built oracle dispatching to them opts out of prefiltering.
+    prefilter_ltr = use_long_term and oracle.ltr_method in (
+        "auto",
+        "direct",
+        "independent",
+        "single-occurrence",
+    )
     relevance_checks = 0
     hits_before = oracle.cache_hits
     facts_before = len(mediator.configuration_view)
@@ -194,18 +221,59 @@ def relevance_guided_strategy(
         candidates = _candidate_accesses(
             schema, configuration, executor.has_performed_key
         )
-        progressed = False
-        for access in candidates:
-            current = mediator.configuration_view
-            if done(current):
-                break
+        if prefilter_ltr:
+            candidates = screen.prefilter(candidates)
+        elif use_immediate and not use_long_term:
+            candidates = screen.prefilter(candidates, immediate_only=True)
+
+        relevant: List[Access] = []
+        for representative, members in screen.group(candidates, configuration):
             relevance_checks += 1
-            if not should_perform(access, current):
-                continue
-            response = executor.execute(access)
-            if response is not None and len(response) > 0:
-                progressed = True
-        if not progressed or done(mediator.configuration_view):
+            ltr_verdict = (
+                oracle.long_term_relevant(representative, configuration)
+                if use_long_term
+                else True
+            )
+            ir_verdict = (
+                oracle.immediately_relevant(representative, configuration)
+                if use_immediate
+                else True
+            )
+            if members:
+                witness = (
+                    oracle.witness_for(representative)
+                    if use_long_term and ltr_verdict
+                    else None
+                )
+                for member, mapping in members:
+                    if use_long_term:
+                        oracle.adopt_long_term_verdict(
+                            member,
+                            configuration,
+                            ltr_verdict,
+                            witness=(
+                                witness.translated(mapping) if witness else None
+                            ),
+                        )
+                    if use_immediate:
+                        oracle.adopt_immediate_verdict(
+                            member, configuration, ir_verdict
+                        )
+            if ltr_verdict and ir_verdict:
+                relevant.append(representative)
+                relevant.extend(member for member, _mapping in members)
+
+        def precheck(access: Access) -> bool:
+            nonlocal relevance_checks
+            relevance_checks += 1
+            return should_perform(access, mediator.configuration_view)
+
+        batch = executor.execute_batch(
+            relevant,
+            precheck=precheck,
+            stop=lambda: done(mediator.configuration_view),
+        )
+        if not batch.progressed or done(mediator.configuration_view):
             break
 
     return _result(

@@ -1,11 +1,19 @@
-"""Runtime layer: memoized relevance verdicts, batched execution, metrics.
+"""Runtime layer: incremental relevance verdicts, batched execution, metrics.
 
 This package hosts the pieces a *production* dynamic-answering deployment
 needs around the paper's decision procedures:
 
 * :class:`~repro.runtime.cache.RelevanceOracle` — memoizes immediate
   relevance, long-term relevance, and certainty verdicts, keyed by the
-  access and the configuration's content fingerprint;
+  access and the configuration's content fingerprint, and reuses long-term
+  verdicts *incrementally* across configuration growth (delta inheritance,
+  witness-path revalidation);
+* :mod:`~repro.runtime.witness` — the incremental machinery itself: captured
+  witness paths (:class:`~repro.runtime.witness.LtrWitness`) and verdict
+  dependency snapshots (:class:`~repro.runtime.witness.ConfigurationSnapshot`);
+* :class:`~repro.runtime.screening.CandidateScreen` — batched pre-oracle
+  screening: the relevant-relation-closure prefilter and structural
+  equivalence grouping of candidate bindings;
 * :class:`~repro.runtime.executor.AccessExecutor` — deduplicating, batched
   access execution against a :class:`~repro.sources.service.Mediator`;
 * :class:`~repro.runtime.metrics.RuntimeMetrics` — counters and timers the
@@ -15,12 +23,23 @@ needs around the paper's decision procedures:
 from repro.runtime.cache import LRUCache, RelevanceOracle, access_key
 from repro.runtime.executor import AccessExecutor, BatchResult
 from repro.runtime.metrics import RuntimeMetrics
+from repro.runtime.screening import CandidateScreen, relevant_relation_closure
+from repro.runtime.witness import (
+    ConfigurationSnapshot,
+    LtrWitness,
+    dependent_input_domains,
+)
 
 __all__ = [
     "AccessExecutor",
     "BatchResult",
+    "CandidateScreen",
+    "ConfigurationSnapshot",
     "LRUCache",
+    "LtrWitness",
     "RelevanceOracle",
     "RuntimeMetrics",
     "access_key",
+    "dependent_input_domains",
+    "relevant_relation_closure",
 ]

@@ -10,6 +10,18 @@ fingerprint)``, where the fingerprint is the O(1) content hash maintained by
 :class:`~repro.data.instance.Instance` — so a cache hit costs two dictionary
 lookups instead of a witness search.
 
+On a fingerprint *miss* the oracle does not immediately fall back to the full
+search: long-term relevance goes through the incremental engine of
+:mod:`repro.runtime.witness` first —
+
+1. the last verdict for the access is *inherited* when the configuration
+   delta since it was computed provably cannot change it
+   (:meth:`~repro.runtime.witness.ConfigurationSnapshot.delta_safe`);
+2. a stored positive witness path is *revalidated* in O(|path|)
+   (:meth:`~repro.runtime.witness.LtrWitness.revalidate`);
+3. only then does the direct search run — and when it proves relevance, its
+   witness path is captured for the next round.
+
 Entries are evicted least-recently-used beyond ``max_entries`` so a
 long-running mediator cannot grow the cache without bound.
 """
@@ -19,10 +31,19 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Hashable, Optional, Tuple
 
-from repro.core import ContainmentOptions, is_immediately_relevant, is_long_term_relevant
+from repro.core import (
+    ContainmentOptions,
+    is_immediately_relevant,
+    long_term_relevance_with_witness,
+)
 from repro.data import Configuration
 from repro.queries import is_certain
 from repro.runtime.metrics import RuntimeMetrics
+from repro.runtime.witness import (
+    ConfigurationSnapshot,
+    LtrWitness,
+    dependent_input_domains,
+)
 from repro.schema import Access, Schema
 
 __all__ = ["LRUCache", "RelevanceOracle", "access_key"]
@@ -61,6 +82,10 @@ class LRUCache:
             while len(self._entries) > self._max_entries:
                 self._entries.popitem(last=False)
 
+    def discard(self, key: Hashable) -> None:
+        """Drop ``key`` if present (no recency or hit/miss accounting)."""
+        self._entries.pop(key, None)
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -71,14 +96,27 @@ class LRUCache:
 _MISSING = object()
 
 
+class _LtrHistory:
+    """The last LTR verdict for one access, with its dependency snapshot."""
+
+    __slots__ = ("verdict", "snapshot")
+
+    def __init__(self, verdict: bool, snapshot: ConfigurationSnapshot) -> None:
+        self.verdict = verdict
+        self.snapshot = snapshot
+
+
 class RelevanceOracle:
     """Memoized relevance and certainty decisions for one Boolean query.
 
     The oracle wraps the facade procedures of :mod:`repro.core` behind a
-    cache keyed by ``(kind, access, configuration fingerprint)``.  Because
-    the underlying procedures are deterministic functions of the
-    configuration's content, a cache hit always returns the verdict the
-    procedure would have computed — the property tests assert exactly this.
+    cache keyed by ``(kind, access, configuration fingerprint)``, plus the
+    incremental delta-inheritance and witness-revalidation layers described
+    in the module docstring.  Because the underlying procedures are
+    deterministic functions of the configuration's content, and the
+    incremental layers only answer when a sound argument transfers the old
+    verdict, a hit always returns the verdict the procedure would have
+    computed — the property tests assert exactly this.
     """
 
     def __init__(
@@ -90,6 +128,7 @@ class RelevanceOracle:
         ltr_method: str = "auto",
         metrics: Optional[RuntimeMetrics] = None,
         max_entries: Optional[int] = 65536,
+        incremental: bool = True,
     ) -> None:
         self._query = query if query.is_boolean else query.boolean_closure()
         self._schema = schema
@@ -97,6 +136,11 @@ class RelevanceOracle:
         self._ltr_method = ltr_method
         self._metrics = metrics if metrics is not None else RuntimeMetrics()
         self._cache = LRUCache(max_entries)
+        self._incremental = incremental
+        self._witnesses = LRUCache(max_entries)
+        self._ltr_history = LRUCache(max_entries)
+        self._query_relations = frozenset(self._query.relation_names())
+        self._unsafe_domains = dependent_input_domains(schema)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -115,6 +159,11 @@ class RelevanceOracle:
     def metrics(self) -> RuntimeMetrics:
         """The metrics sink the oracle records into."""
         return self._metrics
+
+    @property
+    def ltr_method(self) -> str:
+        """The long-term relevance procedure the oracle dispatches to."""
+        return self._ltr_method
 
     @property
     def cache_hits(self) -> int:
@@ -163,20 +212,117 @@ class RelevanceOracle:
             )
 
     def long_term_relevant(self, access: Access, configuration: Configuration) -> bool:
-        """Memoized long-term relevance of ``access`` at ``configuration``."""
-        key = ("ltr", access_key(access), configuration.fingerprint())
+        """Long-term relevance of ``access`` at ``configuration``.
+
+        Resolution order: exact fingerprint hit → sound delta inheritance of
+        the last verdict → O(|path|) revalidation of a stored witness →
+        fresh search (capturing the witness on a positive answer).
+        """
+        akey = access_key(access)
+        key = ("ltr", akey, configuration.fingerprint())
+        cached = self._cache.get(key, _MISSING)
+        if cached is not _MISSING:
+            self._metrics.incr("oracle.hits")
+            return bool(cached)
+        self._metrics.incr("oracle.misses")
+
+        if self._incremental:
+            history = self._ltr_history.get(akey)
+            if history is not None and history.snapshot.delta_safe(
+                configuration, self._unsafe_domains
+            ):
+                self._metrics.incr("oracle.delta_hits")
+                self._cache.put(key, history.verdict)
+                return history.verdict
+
+            witness = self._witnesses.get(akey)
+            if witness is not None:
+                with self._metrics.timer("witness.revalidate"):
+                    revalidated = witness.revalidate(self._query, configuration)
+                if revalidated:
+                    self._metrics.incr("witness.revalidated")
+                    self._record_ltr(akey, key, True, configuration, witness=None)
+                    return True
+                self._metrics.incr("witness.revalidation_failed")
+                # On a growing configuration a failed revalidation means the
+                # truncation now satisfies the (monotone) query — the stored
+                # path can never work again, so retrying it on every miss
+                # only adds two query evaluations.  Drop it; a positive fresh
+                # search below re-captures a live witness.
+                self._witnesses.discard(akey)
+
         with self._metrics.timer("oracle.long_term"):
-            return self._memoized(
-                key,
-                lambda: is_long_term_relevant(
-                    self._query,
-                    access,
-                    configuration,
-                    self._schema,
-                    method=self._ltr_method,
-                    options=self._options,
-                ),
+            verdict, steps = long_term_relevance_with_witness(
+                self._query,
+                access,
+                configuration,
+                self._schema,
+                method=self._ltr_method,
+                options=self._options,
             )
+        witness = LtrWitness(tuple(steps)) if steps else None
+        self._record_ltr(akey, key, verdict, configuration, witness=witness)
+        return verdict
+
+    def _record_ltr(
+        self,
+        akey: Hashable,
+        key: Hashable,
+        verdict: bool,
+        configuration: Configuration,
+        *,
+        witness: Optional[LtrWitness],
+    ) -> None:
+        self._cache.put(key, verdict)
+        if not self._incremental:
+            return
+        self._ltr_history.put(
+            akey,
+            _LtrHistory(
+                verdict, ConfigurationSnapshot.capture(configuration, self._query_relations)
+            ),
+        )
+        if witness is not None:
+            self._witnesses.put(akey, witness)
+
+    def witness_for(self, access: Access) -> Optional[LtrWitness]:
+        """The stored LTR witness for ``access``, if one was captured."""
+        return self._witnesses.get(access_key(access))
+
+    def adopt_long_term_verdict(
+        self,
+        access: Access,
+        configuration: Configuration,
+        verdict: bool,
+        *,
+        witness: Optional[LtrWitness] = None,
+    ) -> None:
+        """Record an LTR verdict obtained outside the oracle's own search.
+
+        Used by the batched screening layer: when two accesses' bindings are
+        related by an automorphism of the configuration, one search decides
+        both, and the second access adopts the verdict (and, positively, the
+        translated witness) so later rounds can revalidate instead of
+        searching.  The caller is responsible for the soundness of the
+        transfer.
+        """
+        akey = access_key(access)
+        self._metrics.incr("oracle.adopted")
+        self._record_ltr(
+            akey,
+            ("ltr", akey, configuration.fingerprint()),
+            verdict,
+            configuration,
+            witness=witness,
+        )
+
+    def adopt_immediate_verdict(
+        self, access: Access, configuration: Configuration, verdict: bool
+    ) -> None:
+        """Record an immediate-relevance verdict transferred by screening."""
+        akey = access_key(access)
+        self._metrics.incr("oracle.adopted")
+        self._cache.put(("ir", akey, configuration.fingerprint()), verdict)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

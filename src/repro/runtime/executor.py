@@ -14,7 +14,7 @@ with strategy logic.  :class:`AccessExecutor` centralises that bookkeeping:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Set, Tuple
+from typing import Callable, Iterable, List, Optional, Set, Tuple
 
 from repro.data import AccessResponse
 from repro.runtime.cache import access_key
@@ -86,10 +86,31 @@ class AccessExecutor:
         self._metrics.incr("executor.facts", len(response))
         return response
 
-    def execute_batch(self, accesses: Iterable[Access]) -> BatchResult:
-        """Perform every not-yet-performed access of the batch, in order."""
+    def execute_batch(
+        self,
+        accesses: Iterable[Access],
+        *,
+        precheck: Optional[Callable[[Access], bool]] = None,
+        stop: Optional[Callable[[], bool]] = None,
+    ) -> BatchResult:
+        """Perform every not-yet-performed access of the batch, in order.
+
+        ``precheck`` is consulted immediately before each execution, against
+        whatever state earlier accesses of the batch produced — the
+        relevance-guided strategy passes its oracle here, so an access
+        screened relevant at the top of the round is re-validated (cheaply,
+        through the incremental engine) at the configuration it actually
+        executes against.  ``stop`` aborts the rest of the batch (e.g. the
+        query became certain).
+        """
         result = BatchResult()
         for access in accesses:
+            if stop is not None and stop():
+                break
+            if precheck is not None and not precheck(access):
+                result.skipped += 1
+                self._metrics.incr("executor.precheck_skipped")
+                continue
             response = self.execute(access)
             if response is None:
                 result.skipped += 1

@@ -1,0 +1,190 @@
+"""Incremental reuse of long-term relevance verdicts.
+
+The direct LTR search (:func:`repro.core.longterm_dependent.find_ltr_witness_steps`)
+is the dominant cost of relevance-guided answering: every verdict at a new
+configuration fingerprint redoes a witness-assignment × production-plan
+search.  The paper's tree-like (crayfish-chase) witness shape makes most of
+that work reusable, in both directions:
+
+* **positive verdicts** carry an explicit witness path.  A path found at
+  configuration ``C`` usually stays a valid witness at a later configuration
+  ``C' ⊇ C`` — the active domain only grew, so every step stays well-formed —
+  and checking that takes time linear in the path length
+  (:meth:`LtrWitness.revalidate`) instead of a fresh search;
+* **negative (and positive) verdicts** can be *inherited* across a
+  configuration delta that provably cannot change them.  A verdict computed
+  at ``C`` is a function of the query-relation facts of ``C``, of the active
+  domain values usable as dependent-access inputs, and of nothing else; a
+  superset configuration whose delta adds only facts over query-irrelevant
+  relations, with values confined to domains no dependent method consumes,
+  yields the same verdict (:meth:`ConfigurationSnapshot.delta_safe`).
+
+This module is the mechanism; the policy (when to revalidate, when to fall
+back to a fresh search) lives in :class:`repro.runtime.cache.RelevanceOracle`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Mapping, Tuple
+
+from repro.data import AccessResponse, Configuration, is_well_formed
+from repro.queries import evaluate_boolean
+from repro.schema import AbstractDomain, Access, Schema
+
+__all__ = [
+    "ConfigurationSnapshot",
+    "LtrWitness",
+    "dependent_input_domains",
+]
+
+
+def dependent_input_domains(schema: Schema) -> FrozenSet[AbstractDomain]:
+    """Domains some dependent access method consumes at an input place.
+
+    A new active-domain value can only change a relevance verdict when a
+    witness could bind it as a dependent input (directly, or inside a support
+    chain); values of any other domain are interchangeable with fresh
+    constants.  This is the *unsafe* domain set of the delta test.
+    """
+    unsafe = set()
+    for method in schema.access_methods:
+        if not method.dependent:
+            continue
+        for place in method.input_places:
+            unsafe.add(method.relation.domain_of(place))
+    return frozenset(unsafe)
+
+
+@dataclass(frozen=True)
+class ConfigurationSnapshot:
+    """What a relevance verdict depended on, captured at computation time.
+
+    The snapshot holds the configuration's fingerprint, its active domain
+    (facts plus seed constants), and the frozen tuple sets of the query's
+    relations.  Capturing is O(#query relations): the active-domain frozenset
+    and the per-relation frozen views are maintained by
+    :class:`~repro.data.instance.Instance` and shared, not copied.
+    """
+
+    fingerprint: Tuple[int, ...]
+    active_domain: FrozenSet[Tuple[object, AbstractDomain]]
+    query_facts: Tuple[Tuple[str, FrozenSet[Tuple[object, ...]]], ...]
+
+    @staticmethod
+    def capture(
+        configuration: Configuration, query_relations: Iterable[str]
+    ) -> "ConfigurationSnapshot":
+        """Snapshot ``configuration`` for verdicts about ``query_relations``."""
+        return ConfigurationSnapshot(
+            fingerprint=configuration.fingerprint(),
+            active_domain=configuration.active_domain(),
+            query_facts=tuple(
+                (name, configuration.tuples(name))
+                for name in sorted(query_relations)
+                if configuration.schema.has_relation(name)
+            ),
+        )
+
+    def delta_safe(
+        self,
+        configuration: Configuration,
+        unsafe_domains: FrozenSet[AbstractDomain],
+    ) -> bool:
+        """Whether a verdict captured with this snapshot holds at ``configuration``.
+
+        Sound for both polarities of long-term relevance.  The test accepts
+        when
+
+        1. the snapshot's active domain survives (no value a witness may
+           have used disappeared),
+        2. the query relations hold exactly the same facts (certainty, the
+           "already witnessed by the configuration" classification, and the
+           truncation evaluation all read only these), and
+        3. every *new* active-domain pair lies in a domain no dependent
+           access method consumes (so no witness, support chain, or
+           truncation step gains an input value it lacked before).
+
+        Under these conditions every witness path valid at one configuration
+        is valid at the other, with the same truncation, so the fresh search
+        would return the same verdict.
+        """
+        if configuration.fingerprint() == self.fingerprint:
+            return True
+        current = configuration.active_domain()
+        if not self.active_domain <= current:
+            return False
+        for name, facts in self.query_facts:
+            if configuration.tuples(name) != facts:
+                return False
+        for _value, domain in current - self.active_domain:
+            if domain in unsafe_domains:
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class LtrWitness:
+    """A captured long-term relevance witness: a well-formed path.
+
+    The first step is the probed access; the remaining steps realise the rest
+    of the witness (later accesses and their support chains).  By
+    construction the query holds at the end of the path and fails on its
+    truncation — that is exactly what :meth:`revalidate` re-checks against a
+    *different* configuration, in O(|path|) plus two query evaluations.
+    """
+
+    steps: Tuple[AccessResponse, ...]
+
+    @property
+    def access(self) -> Access:
+        """The access the witness certifies as long-term relevant."""
+        return self.steps[0].access
+
+    def revalidate(self, query, configuration: Configuration) -> bool:
+        """Whether the stored path still witnesses LTR at ``configuration``.
+
+        ``True`` is always sound: the path is then an explicit well-formed
+        witness at ``configuration`` (every step well-formed in sequence, the
+        query true at the end, and false on the truncation — if the query is
+        already certain the truncation satisfies it, so certainty needs no
+        separate check).  ``False`` only means the *stored* path no longer
+        works; the caller decides whether to search afresh.
+
+        Cost: two configuration copies (not one per step), |path|
+        well-formedness checks and fact merges, and two query evaluations.
+        """
+        current = configuration.copy()
+        for step in self.steps:
+            if not is_well_formed(step.access, current):
+                return False
+            current.add_all(step.as_facts())
+        if not evaluate_boolean(query, current):
+            return False
+        truncated = configuration.copy()
+        for step in self.steps[1:]:
+            if not is_well_formed(step.access, truncated):
+                break
+            truncated.add_all(step.as_facts())
+        return not evaluate_boolean(query, truncated)
+
+    def translated(self, mapping: Mapping[object, object]) -> "LtrWitness":
+        """The witness under a value renaming (for verdict sharing).
+
+        When ``mapping`` extends to an automorphism of the configuration (and
+        fixes the query constants), the image path witnesses LTR of the
+        image access — this is how structurally equivalent bindings share one
+        search result.
+        """
+        steps = []
+        for step in self.steps:
+            access = Access(
+                step.access.method,
+                tuple(mapping.get(value, value) for value in step.access.binding),
+            )
+            facts = tuple(
+                tuple(mapping.get(value, value) for value in row)
+                for row in step.facts
+            )
+            steps.append(AccessResponse.trusted(access, facts))
+        return LtrWitness(tuple(steps))

@@ -12,6 +12,8 @@ from repro.workloads.scenarios import (
     RelevanceScenario,
     containment_example_scenario,
     dependent_chain_scenario,
+    diamond_scenario,
+    fanout_scenario,
     independent_pq_scenario,
     independent_scenario,
     small_arity_scenario,
@@ -31,6 +33,8 @@ __all__ = [
     "independent_scenario",
     "independent_pq_scenario",
     "dependent_chain_scenario",
+    "fanout_scenario",
+    "diamond_scenario",
     "small_arity_scenario",
     "containment_example_scenario",
 ]

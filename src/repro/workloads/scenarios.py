@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from repro.data import Configuration
+from repro.data import Configuration, Instance
 from repro.queries import ConjunctiveQuery, PositiveQuery, parse_cq, parse_pq
 from repro.schema import Access, Schema, SchemaBuilder
 from repro.workloads.generators import chain_schema
@@ -21,6 +21,8 @@ __all__ = [
     "independent_scenario",
     "independent_pq_scenario",
     "dependent_chain_scenario",
+    "fanout_scenario",
+    "diamond_scenario",
     "small_arity_scenario",
     "containment_example_scenario",
 ]
@@ -28,7 +30,12 @@ __all__ = [
 
 @dataclass(frozen=True)
 class RelevanceScenario:
-    """A packaged relevance problem instance."""
+    """A packaged relevance problem instance.
+
+    Scenarios meant for end-to-end answering runs additionally carry a
+    ``hidden_instance`` — the simulated source content — from which
+    :meth:`mediator` builds a federated engine.
+    """
 
     name: str
     schema: Schema
@@ -37,6 +44,19 @@ class RelevanceScenario:
     access: Access
     expected_immediate: Optional[bool] = None
     expected_long_term: Optional[bool] = None
+    hidden_instance: Optional[Instance] = None
+
+    def mediator(self):
+        """A mediator over exact simulated sources (requires a hidden instance)."""
+        if self.hidden_instance is None:
+            raise ValueError(f"scenario {self.name!r} has no hidden instance")
+        from repro.sources.service import DataSource, Mediator
+
+        sources = [
+            DataSource(method, self.hidden_instance)
+            for method in self.schema.access_methods
+        ]
+        return Mediator(self.schema, sources, self.configuration.copy())
 
 
 def independent_scenario(query_size: int = 3, seed: int = 1) -> RelevanceScenario:
@@ -84,6 +104,116 @@ def dependent_chain_scenario(length: int = 3) -> RelevanceScenario:
         query,
         access,
         expected_long_term=True,
+    )
+
+
+def fanout_scenario(branches: int = 3, *, audit: bool = True) -> RelevanceScenario:
+    """Wide fanout: one hub access feeds ``branches`` parallel joins.
+
+    ``Hub(src, mid)`` is reached by a dependent access on ``src``; each
+    branch relation ``B1 ... Bk`` joins the hub's output on a shared ``mid``
+    variable and emits a leaf value of its own domain.  The query asks for a
+    ``mid`` present in *every* branch, so the hub access is long-term
+    relevant (its output feeds all branch accesses) although ``Hub`` itself
+    does not occur in the query.
+
+    With ``audit`` a side relation ``Audit(mid, note)`` is added whose
+    output domain feeds nothing: its accesses fail the relevant-relation
+    closure, and its facts are the canonical *query-irrelevant delta* the
+    verdict-inheritance test accepts.
+    """
+    if branches < 1:
+        raise ValueError("fanout needs at least one branch")
+    builder = SchemaBuilder()
+    builder.domain("S")
+    builder.domain("M")
+    builder.relation("Hub", [("src", "S"), ("mid", "M")])
+    builder.access("accHub", "Hub", inputs=["src"], dependent=True)
+    for index in range(1, branches + 1):
+        builder.domain(f"L{index}")
+        builder.relation(f"B{index}", [("mid", "M"), ("leaf", f"L{index}")])
+        builder.access(f"accB{index}", f"B{index}", inputs=["mid"], dependent=True)
+    if audit:
+        builder.domain("Note")
+        builder.relation("Audit", [("mid", "M"), ("note", "Note")])
+        builder.access("accAudit", "Audit", inputs=["mid"], dependent=True)
+    schema = builder.build()
+
+    body = ", ".join(f"B{index}(m, z{index})" for index in range(1, branches + 1))
+    query = parse_cq(schema, body, name=f"fanout-{branches}")
+
+    configuration = Configuration.empty(schema)
+    configuration.add_constant("start", schema.relation("Hub").domain_of(0))
+
+    hidden = Instance(schema)
+    hidden.add("Hub", ("start", "m0"))
+    for index in range(1, branches + 1):
+        hidden.add(f"B{index}", ("m0", f"leaf{index}"))
+    if audit:
+        hidden.add("Audit", ("m0", "note0"))
+
+    access = Access(schema.access_method("accHub"), ("start",))
+    return RelevanceScenario(
+        f"fanout-{branches}",
+        schema,
+        configuration,
+        query,
+        access,
+        expected_long_term=True,
+        hidden_instance=hidden,
+    )
+
+
+def diamond_scenario(width: int = 2) -> RelevanceScenario:
+    """Diamond dependencies: parallel middles reconverging in one bottom join.
+
+    ``Top(src, a)`` fans out to ``width`` middle relations ``M1 ... Mw`` (all
+    consuming the same ``a`` value), whose outputs reconverge as the
+    attributes of a single ``Bottom(x1, ..., xw)`` fact reached through the
+    first middle's output.  The top access is long-term relevant: every
+    middle access and the bottom access transitively depend on its output.
+    """
+    if width < 2:
+        raise ValueError("a diamond needs at least two middle relations")
+    builder = SchemaBuilder()
+    builder.domain("S")
+    builder.domain("A")
+    builder.relation("Top", [("src", "S"), ("a", "A")])
+    builder.access("accTop", "Top", inputs=["src"], dependent=True)
+    for index in range(1, width + 1):
+        builder.domain(f"X{index}")
+        builder.relation(f"M{index}", [("a", "A"), ("x", f"X{index}")])
+        builder.access(f"accM{index}", f"M{index}", inputs=["a"], dependent=True)
+    builder.relation(
+        "Bottom", [(f"x{index}", f"X{index}") for index in range(1, width + 1)]
+    )
+    builder.access("accBottom", "Bottom", inputs=["x1"], dependent=True)
+    schema = builder.build()
+
+    middles = ", ".join(f"M{index}(a, x{index})" for index in range(1, width + 1))
+    bottom = "Bottom(" + ", ".join(f"x{index}" for index in range(1, width + 1)) + ")"
+    query = parse_cq(schema, f"{middles}, {bottom}", name=f"diamond-{width}")
+
+    configuration = Configuration.empty(schema)
+    configuration.add_constant("start", schema.relation("Top").domain_of(0))
+
+    hidden = Instance(schema)
+    hidden.add("Top", ("start", "a0"))
+    for index in range(1, width + 1):
+        hidden.add(f"M{index}", ("a0", f"x{index}_0"))
+    hidden.add(
+        "Bottom", tuple(f"x{index}_0" for index in range(1, width + 1))
+    )
+
+    access = Access(schema.access_method("accTop"), ("start",))
+    return RelevanceScenario(
+        f"diamond-{width}",
+        schema,
+        configuration,
+        query,
+        access,
+        expected_long_term=True,
+        hidden_instance=hidden,
     )
 
 

@@ -111,3 +111,48 @@ class TestProductionPlans:
             )
         )
         assert plans == []
+
+
+class TestReachabilityPruning:
+    def test_target_supplied_values_are_not_pruned(self):
+        """Regression: the root reachability prune must count the values the
+        targets themselves make available — here the independent access on R
+        invents the value that S's dependent input needs, so a plan exists
+        even though no method *outputs* a D value."""
+        builder = SchemaBuilder()
+        builder.domain("D")
+        builder.domain("E")
+        builder.relation("R", [("x", "D")])
+        builder.access("accR", "R", inputs=["x"], dependent=False)
+        builder.relation("S", [("x", "D"), ("y", "E")])
+        builder.access("accS", "S", inputs=["x"], dependent=True)
+        schema = builder.build()
+        configuration = Configuration.empty(schema)
+        plans = list(
+            iter_production_plans(
+                schema,
+                configuration,
+                [Fact("R", ("f",)), Fact("S", ("f", "g"))],
+            )
+        )
+        assert plans, "valid plan pruned by the reachability closure"
+        produced = {fact.relation for fact in plans[0].target_facts}
+        assert produced == {"R", "S"}
+        assert plans[0].path.is_well_formed()
+
+    def test_truly_unreachable_domain_still_pruned(self):
+        """The fix must not disable pruning: a dependent input in a domain no
+        method can populate admits no plan."""
+        builder = SchemaBuilder()
+        builder.domain("D")
+        builder.domain("E")
+        builder.relation("S", [("x", "D"), ("y", "E")])
+        builder.access("accS", "S", inputs=["x"], dependent=True)
+        schema = builder.build()
+        configuration = Configuration.empty(schema)
+        plans = list(
+            iter_production_plans(
+                schema, configuration, [Fact("S", ("unknown", "g"))]
+            )
+        )
+        assert plans == []

@@ -10,7 +10,11 @@ identical* to the naive reference implementations they replaced:
   naive evaluator, on the accessible-part program and on recursive programs;
 * the incremental caches of :class:`Instance` (active domain, fingerprint,
   per-domain pools) agree with recomputation from scratch after arbitrary
-  add/remove sequences.
+  add/remove sequences;
+* the incremental relevance engine (fingerprint memoization, delta
+  inheritance, witness revalidation, screening adoption) serves exactly the
+  verdict a fresh, cache-free ``is_long_term_relevant`` run computes on the
+  same configuration, across arbitrary growth sequences.
 """
 
 from __future__ import annotations
@@ -18,11 +22,13 @@ from __future__ import annotations
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro import Configuration, Instance, SchemaBuilder
+from repro import Access, Configuration, Instance, SchemaBuilder
+from repro.core import is_long_term_relevant
 from repro.datalog import accessible_program
 from repro.datalog.engine import evaluate_program, evaluate_program_naive
 from repro.queries import find_homomorphisms
-from repro.workloads import random_cq
+from repro.runtime import RelevanceOracle, RuntimeMetrics
+from repro.workloads import fanout_scenario, random_cq
 
 
 def _schema():
@@ -144,6 +150,50 @@ def test_incremental_caches_agree_with_recomputation(facts, removals, additions)
                     if other[place] == value
                 }
                 assert via_index == via_scan
+
+
+_FANOUT = fanout_scenario(2)
+_M = _FANOUT.schema.relation("Hub").domain_of(1)
+_GROWTH_FACTS = st.sampled_from(
+    [
+        ("Hub", ("start", "m0")),
+        ("Hub", ("start", "m1")),
+        ("B1", ("m0", "p")),
+        ("B1", ("m1", "q")),
+        ("B2", ("m0", "r")),
+        ("B2", ("m1", "r")),
+        ("Audit", ("m0", "n0")),
+        ("Audit", ("m1", "n1")),
+    ]
+)
+_PROBES = [
+    Access(_FANOUT.schema.access_method("accHub"), ("start",)),
+    Access(_FANOUT.schema.access_method("accB1"), ("m0",)),
+    Access(_FANOUT.schema.access_method("accB2"), ("m1",)),
+    Access(_FANOUT.schema.access_method("accAudit"), ("m0",)),
+]
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(growth=st.lists(_GROWTH_FACTS, max_size=5))
+def test_incremental_ltr_verdicts_match_fresh_search(growth):
+    """Every oracle answer — memoized, delta-inherited, or served by witness
+    revalidation — equals a fresh ``is_long_term_relevant`` run on the same
+    configuration content."""
+    schema = _FANOUT.schema
+    query = _FANOUT.query
+    oracle = RelevanceOracle(query, schema, metrics=RuntimeMetrics())
+    configuration = _FANOUT.configuration.copy()
+    steps = [None] + list(growth)
+    for step in steps:
+        if step is not None:
+            configuration.add(*step)
+        for probe in _PROBES:
+            incremental = oracle.long_term_relevant(probe, configuration)
+            fresh = is_long_term_relevant(query, probe, configuration, schema)
+            assert incremental == fresh
+            # Asking again is an exact-fingerprint hit and must not flip.
+            assert oracle.long_term_relevant(probe, configuration) == fresh
 
 
 def test_fingerprint_distinguishes_minus_one_from_minus_two():

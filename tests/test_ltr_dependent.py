@@ -99,6 +99,36 @@ class TestContainmentBasedProcedures:
         )
         assert direct == via_containment is True
 
+    def test_cq_procedure_handles_repeated_subgoals(self):
+        """Regression: the compatible/other split must partition atom
+        *occurrences* by index — an equality-based membership split conflates
+        duplicate subgoals."""
+        scenario = dependent_chain_scenario(2)
+        query = parse_cq(
+            scenario.schema, "L1(x, y), L1(x, y), L2(y, z)", name="dup-subgoal"
+        )
+        assert len(query.atoms) == 3  # the duplicate occurrence is retained
+        direct = is_ltr_direct(
+            query, scenario.access, scenario.configuration, scenario.schema
+        )
+        via_containment = is_ltr_via_containment_cq(
+            query, scenario.access, scenario.configuration, scenario.schema
+        )
+        assert direct == via_containment is True
+
+    def test_cq_procedure_repeated_subgoal_negative_case(self, dependent_schema):
+        """Duplicated subgoals must not flip a negative verdict either."""
+        query = parse_cq(dependent_schema, "S(x), S(x)", name="dup-negative")
+        domain = dependent_schema.relation("R").domain_of(0)
+        configuration = Configuration.empty(dependent_schema).with_constants(
+            [("v", domain)]
+        )
+        access = Access(dependent_schema.access_method("accR"), ("v",))
+        assert not is_ltr_direct(query, access, configuration, dependent_schema)
+        assert not is_ltr_via_containment_cq(
+            query, access, configuration, dependent_schema
+        )
+
     def test_cq_procedure_negative_case(self, dependent_schema):
         """Example 3.2 flipped: the access on R cannot matter for ∃x S(x)."""
         query = parse_cq(dependent_schema, "S(x)")

@@ -20,9 +20,9 @@ from repro import (
     is_immediately_relevant,
     is_long_term_relevant,
 )
-from repro.runtime import AccessExecutor, LRUCache
+from repro.runtime import AccessExecutor, CandidateScreen, LRUCache
 from repro.sources import DataSource, Mediator
-from repro.workloads import random_cq
+from repro.workloads import fanout_scenario, random_cq
 
 
 def _schema():
@@ -268,3 +268,160 @@ def test_oracle_requires_nothing_but_query_and_schema():
     assert oracle.query.is_boolean
     stats = oracle.stats()
     assert stats == {"hits": 0, "misses": 0, "entries": 0}
+
+
+# --------------------------------------------------------------------------- #
+# Incremental relevance engine: witness reuse, delta inheritance, screening
+# --------------------------------------------------------------------------- #
+def test_witness_revalidation_reuses_positive_verdicts():
+    scenario = fanout_scenario(2)
+    metrics = RuntimeMetrics()
+    oracle = RelevanceOracle(scenario.query, scenario.schema, metrics=metrics)
+    configuration = scenario.configuration.copy()
+
+    assert oracle.long_term_relevant(scenario.access, configuration)
+    assert oracle.witness_for(scenario.access) is not None
+
+    # Growth that invalidates the fingerprint but not the witness path.
+    configuration.add("Hub", ("start", "m9"))
+    assert oracle.long_term_relevant(scenario.access, configuration)
+    counters = metrics.snapshot()["counters"]
+    assert counters.get("witness.revalidated", 0) >= 1
+
+    # The reused verdict agrees with a fresh search on the same content.
+    assert is_long_term_relevant(
+        oracle.query, scenario.access, configuration, scenario.schema
+    )
+
+
+def test_captured_witness_is_a_valid_path():
+    scenario = fanout_scenario(2)
+    oracle = RelevanceOracle(scenario.query, scenario.schema)
+    configuration = scenario.configuration.copy()
+    assert oracle.long_term_relevant(scenario.access, configuration)
+    witness = oracle.witness_for(scenario.access)
+    assert witness.access.method.name == scenario.access.method.name
+    assert witness.steps[0].access.binding == scenario.access.binding
+    assert witness.revalidate(oracle.query, configuration)
+
+
+def test_delta_inheritance_on_query_irrelevant_growth():
+    scenario = fanout_scenario(2, audit=True)
+    metrics = RuntimeMetrics()
+    oracle = RelevanceOracle(scenario.query, scenario.schema, metrics=metrics)
+    configuration = scenario.configuration.copy()
+    configuration.add("Hub", ("start", "m0"))
+
+    first = oracle.long_term_relevant(scenario.access, configuration)
+    # Audit facts touch no query relation, and their fresh Note values lie in
+    # a domain no dependent method consumes: the verdict is inherited.
+    configuration.add("Audit", ("m0", "n0"))
+    assert oracle.long_term_relevant(scenario.access, configuration) == first
+    configuration.add("Audit", ("m0", "n1"))
+    assert oracle.long_term_relevant(scenario.access, configuration) == first
+    counters = metrics.snapshot()["counters"]
+    assert counters.get("oracle.delta_hits", 0) >= 2
+    assert first == is_long_term_relevant(
+        oracle.query, scenario.access, configuration, scenario.schema
+    )
+
+
+def test_delta_inheritance_refuses_consumable_values():
+    """A delta adding a value of a dependent-input domain must NOT be
+    inherited: it can genuinely flip a verdict."""
+    scenario = fanout_scenario(2)
+    metrics = RuntimeMetrics()
+    oracle = RelevanceOracle(scenario.query, scenario.schema, metrics=metrics)
+    configuration = scenario.configuration.copy()
+    probe = Access(scenario.schema.access_method("accB1"), ("m0",))
+
+    # Ill-formed at first (m0 unknown) — not relevant.
+    assert not oracle.long_term_relevant(probe, configuration)
+    # m0 enters the active domain: the old verdict must not transfer.
+    configuration.add("Hub", ("start", "m0"))
+    assert oracle.long_term_relevant(probe, configuration)
+
+
+def test_screen_prefilter_drops_unfeedable_relations():
+    scenario = fanout_scenario(2, audit=True)
+    screen = CandidateScreen(scenario.query, scenario.schema)
+    assert "Hub" in screen.closure
+    assert "B1" in screen.closure and "B2" in screen.closure
+    assert "Audit" not in screen.closure
+
+    audit = Access(scenario.schema.access_method("accAudit"), ("m0",))
+    kept = screen.prefilter([scenario.access, audit])
+    assert kept == [scenario.access]
+    # ...and the dropped access is indeed never long-term relevant.
+    configuration = scenario.configuration.copy()
+    configuration.add("Hub", ("start", "m0"))
+    assert not is_long_term_relevant(
+        scenario.query if scenario.query.is_boolean else scenario.query.boolean_closure(),
+        audit,
+        configuration,
+        scenario.schema,
+    )
+
+
+def test_screen_groups_interchangeable_bindings():
+    scenario = fanout_scenario(2)
+    schema = scenario.schema
+    configuration = scenario.configuration.copy()
+    domain = schema.relation("Hub").domain_of(0)
+    configuration.add_constant("start2", domain)
+
+    screen = CandidateScreen(scenario.query, schema)
+    first = Access(schema.access_method("accHub"), ("start",))
+    second = Access(schema.access_method("accHub"), ("start2",))
+    groups = screen.group([first, second], configuration)
+    assert len(groups) == 1
+    representative, members = groups[0]
+    assert representative is first
+    assert members[0][0] is second
+    assert members[0][1] == {"start": "start2", "start2": "start"}
+
+    # A fact mentioning only one of the two breaks the symmetry.
+    configuration.add("Hub", ("start", "m0"))
+    groups = screen.group([first, second], configuration)
+    assert len(groups) == 2
+
+
+def test_adopted_verdicts_flow_through_guided_strategy():
+    from repro.planner import exhaustive_strategy, relevance_guided_strategy
+    from repro.sources import build_bank_scenario
+
+    bank = build_bank_scenario(employees=4, offices=2, states=2, known_employees=2)
+    exhaustive = exhaustive_strategy(bank.mediator(), bank.query)
+    metrics = RuntimeMetrics()
+    oracle = RelevanceOracle(bank.query, bank.schema, metrics=metrics)
+    result = relevance_guided_strategy(bank.mediator(), bank.query, oracle=oracle)
+    assert result.boolean_answer == exhaustive.boolean_answer
+    assert result.accesses_made <= exhaustive.accesses_made
+    counters = metrics.snapshot()["counters"]
+    # The two known employees are interchangeable in the empty configuration:
+    # screening shares their verdicts, and execution-time rechecks are served
+    # by witness revalidation.
+    assert counters.get("oracle.adopted", 0) >= 1
+    assert counters.get("witness.revalidated", 0) >= 1
+
+
+def test_executor_batch_precheck_and_stop():
+    scenario = fanout_scenario(2)
+    mediator = scenario.mediator()
+    executor = AccessExecutor(mediator)
+    hub = Access(scenario.schema.access_method("accHub"), ("start",))
+    batch = executor.execute_batch([hub, hub], precheck=lambda access: True)
+    assert batch.performed == 1 and batch.skipped == 1  # dedup still applies
+
+    b1 = Access(scenario.schema.access_method("accB1"), ("m0",))
+    b2 = Access(scenario.schema.access_method("accB2"), ("m0",))
+    batch = executor.execute_batch(
+        [b1, b2], precheck=lambda access: access.method.name != "accB2"
+    )
+    assert batch.performed == 1
+    assert batch.skipped == 1
+    assert executor.metrics.count("executor.precheck_skipped") == 1
+
+    audit = Access(scenario.schema.access_method("accAudit"), ("m0",))
+    batch = executor.execute_batch([audit], stop=lambda: True)
+    assert batch.performed == 0 and batch.responses == []

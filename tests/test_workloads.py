@@ -11,6 +11,8 @@ from repro.workloads import (
     chain_schema,
     containment_example_scenario,
     dependent_chain_scenario,
+    diamond_scenario,
+    fanout_scenario,
     independent_pq_scenario,
     independent_scenario,
     random_configuration,
@@ -104,3 +106,49 @@ class TestScenarios:
         assert not evaluate_boolean(query_r, configuration)
         assert not evaluate_boolean(query_s, configuration)
         assert schema.all_dependent()
+
+    @pytest.mark.parametrize("branches", [1, 2, 4])
+    def test_fanout_scenario_expectation(self, branches):
+        scenario = fanout_scenario(branches)
+        assert scenario.expected_long_term is True
+        assert is_long_term_relevant(
+            scenario.query, scenario.access, scenario.configuration, scenario.schema
+        )
+
+    @pytest.mark.parametrize("width", [2, 3])
+    def test_diamond_scenario_expectation(self, width):
+        scenario = diamond_scenario(width)
+        assert scenario.expected_long_term is True
+        assert is_long_term_relevant(
+            scenario.query, scenario.access, scenario.configuration, scenario.schema
+        )
+
+    def test_fanout_audit_access_is_never_relevant(self):
+        from repro import Access
+
+        scenario = fanout_scenario(2, audit=True)
+        configuration = scenario.configuration.copy()
+        configuration.add("Hub", ("start", "m0"))
+        audit = Access(scenario.schema.access_method("accAudit"), ("m0",))
+        assert not is_long_term_relevant(
+            scenario.query, audit, configuration, scenario.schema
+        )
+
+    @pytest.mark.parametrize(
+        "scenario",
+        [fanout_scenario(3), diamond_scenario(2), diamond_scenario(3)],
+        ids=lambda s: s.name,
+    )
+    def test_shaped_scenarios_answer_like_exhaustive(self, scenario):
+        from repro.planner import exhaustive_strategy, relevance_guided_strategy
+
+        exhaustive = exhaustive_strategy(scenario.mediator(), scenario.query)
+        guided = relevance_guided_strategy(scenario.mediator(), scenario.query)
+        assert guided.boolean_answer == exhaustive.boolean_answer
+        assert guided.boolean_answer is True
+        assert guided.accesses_made <= exhaustive.accesses_made
+
+    def test_scenario_without_hidden_instance_rejects_mediator(self):
+        scenario = dependent_chain_scenario(2)
+        with pytest.raises(ValueError):
+            scenario.mediator()
