@@ -17,13 +17,14 @@ engine's bookkeeping:
 from __future__ import annotations
 
 import os
+import time
 
 import pytest
 
 from repro.planner import exhaustive_strategy, relevance_guided_strategy
-from repro.runtime import RelevanceOracle, RuntimeMetrics
+from repro.runtime import RelevanceOracle, RuntimeMetrics, SharedVerdictStore
 from repro.sources import build_bank_scenario
-from repro.workloads import diamond_scenario, fanout_scenario
+from repro.workloads import diamond_scenario, fanout_scenario, wide_fanout_scenario
 
 
 def _smoke() -> bool:
@@ -108,6 +109,111 @@ def test_incremental_reuse_on_bank(benchmark):
     assert result.accesses_made <= exhaustive.accesses_made
     counts = _reuse_counts(metrics)
     assert counts["revalidated"] > 0, counts
+    benchmark.extra_info.update(counts)
+
+
+# --------------------------------------------------------------------------- #
+# Experiment PAR-latency: the parallel answering runtime under source latency
+# --------------------------------------------------------------------------- #
+_LATENCY_S = 0.010  # ≥ 10 ms per access round-trip — the deep-Web regime
+
+
+def _latency_scenario():
+    if _smoke():
+        return wide_fanout_scenario(6, 3)
+    return wide_fanout_scenario(8, 4)
+
+
+def _run_parallel(scenario, workers: int, latency_s: float = _LATENCY_S):
+    mediator = scenario.mediator(latency_s=latency_s)
+    started = time.perf_counter()
+    result = relevance_guided_strategy(mediator, scenario.query, parallelism=workers)
+    wall = time.perf_counter() - started
+    accesses = sorted(
+        (access.method.name, access.binding) for access, _n in mediator.access_log
+    )
+    return result, accesses, wall
+
+
+_sequential_baseline = {}
+
+
+def _baseline(scenario):
+    """One sequential reference run per scenario (latency sleeps are pricey)."""
+    if scenario.name not in _sequential_baseline:
+        result, accesses, _wall = _run_parallel(scenario, 1)
+        _sequential_baseline[scenario.name] = (result, accesses)
+    return _sequential_baseline[scenario.name]
+
+
+@pytest.mark.experiment("PAR-latency-workers")
+@pytest.mark.parametrize("workers", [1, 4] if _smoke() else [1, 4, 16])
+def test_parallel_latency_fanout(benchmark, workers):
+    """Sequential vs. parallel relevance-guided answering with simulated
+    source latency: wall-clock per worker count, identical results."""
+    scenario = _latency_scenario()
+    baseline, baseline_accesses = _baseline(scenario)
+
+    def run():
+        return _run_parallel(scenario, workers)
+
+    result, accesses, _wall = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.answers == baseline.answers
+    assert accesses == baseline_accesses
+    benchmark.extra_info.update(
+        {"workers": workers, "accesses": result.accesses_made}
+    )
+
+
+@pytest.mark.experiment("PAR-latency-speedup")
+def test_parallel_latency_speedup_at_8_workers():
+    """Acceptance gate: at ≥ 10 ms simulated latency, 8 workers beat the
+    sequential run ≥ 3× on the fanout bench with identical answers and
+    access sets (up to ordering).
+
+    Uses the full-size fanout and 15 ms latency even in smoke mode: the
+    sleep-dominated ideal ratio is then ~6×, so a loaded CI runner adding
+    tens of milliseconds of compute to both sides cannot drag the measured
+    ratio below the 3× gate.
+    """
+    scenario = wide_fanout_scenario(8, 4)
+    latency = 0.015
+    sequential, sequential_accesses, sequential_wall = _run_parallel(
+        scenario, 1, latency
+    )
+    parallel, parallel_accesses, parallel_wall = _run_parallel(scenario, 8, latency)
+    assert parallel.answers == sequential.answers
+    assert parallel_accesses == sequential_accesses
+    speedup = sequential_wall / parallel_wall
+    assert speedup >= 3.0, (
+        f"8-worker run only {speedup:.1f}x faster "
+        f"({sequential_wall * 1000:.0f}ms -> {parallel_wall * 1000:.0f}ms)"
+    )
+
+
+@pytest.mark.experiment("PAR-shared-store")
+def test_shared_store_amortises_searches_across_runs(benchmark):
+    """Repeated guided runs over one (query, schema) pool their LTR history
+    and witnesses through a SharedVerdictStore: later runs revalidate
+    instead of searching afresh."""
+    scenario = fanout_scenario(4, mids=2)
+    store = SharedVerdictStore(scenario.query, scenario.schema)
+    first = relevance_guided_strategy(scenario.mediator(), scenario.query, store=store)
+
+    def run():
+        metrics = RuntimeMetrics()
+        oracle = RelevanceOracle(
+            scenario.query, scenario.schema, metrics=metrics, store=store
+        )
+        result = relevance_guided_strategy(
+            scenario.mediator(), scenario.query, oracle=oracle
+        )
+        return result, metrics
+
+    result, metrics = benchmark(run)
+    assert result.answers == first.answers
+    counts = _reuse_counts(metrics)
+    assert counts["revalidated"] + counts["delta_hits"] > 0, counts
     benchmark.extra_info.update(counts)
 
 

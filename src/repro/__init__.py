@@ -65,6 +65,7 @@ from repro.runtime import (
     AccessExecutor,
     RelevanceOracle,
     RuntimeMetrics,
+    SharedVerdictStore,
 )
 from repro.schema import (
     AbstractDomain,
@@ -127,6 +128,7 @@ __all__ = [
     "AccessExecutor",
     "RelevanceOracle",
     "RuntimeMetrics",
+    "SharedVerdictStore",
     # exceptions
     "ReproError",
     "SchemaError",

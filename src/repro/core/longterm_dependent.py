@@ -188,8 +188,8 @@ def find_ltr_witness_steps(
                 max_nodes=options.max_nodes,
             ):
                 steps = (first_response,) + tuple(plan.path.steps)
-                full_path = AccessPath(configuration.copy(), list(steps))
-                truncated = full_path.truncation().final_configuration()
+                full_path = AccessPath(configuration, list(steps))
+                truncated = full_path.truncation_final_configuration()
                 if not evaluate_boolean(query, truncated):
                     return steps
 
@@ -321,8 +321,8 @@ def _ltr_via_generic_response(
                 max_nodes=options.max_nodes,
             ):
                 steps = (first_response,) + tuple(plan.path.steps)
-                full_path = AccessPath(configuration.copy(), list(steps))
-                truncated = full_path.truncation().final_configuration()
+                full_path = AccessPath(configuration, list(steps))
+                truncated = full_path.truncation_final_configuration()
                 if not evaluate_boolean(query, truncated):
                     return steps
     return None

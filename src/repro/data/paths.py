@@ -239,6 +239,26 @@ class AccessPath:
             current = apply_access(current, response, check_well_formed=False)
         return truncated
 
+    def truncation_final_configuration(self) -> Configuration:
+        """The configuration reached at the end of the truncated path.
+
+        Semantically ``self.truncation().final_configuration()``, computed in
+        a single pass over one working copy instead of one configuration copy
+        per step.  This is the *only* implementation of the truncation-replay
+        semantics: the fresh witness search and the incremental
+        :meth:`~repro.runtime.witness.LtrWitness.revalidate` both call it, so
+        the two engines cannot drift on how an ill-formed step truncates the
+        path (the longest well-formed prefix is kept; everything after the
+        first ill-formed step is dropped, even steps that do not depend on
+        the probed access).
+        """
+        current = self.initial.copy()
+        for response in self.steps[1:]:
+            if not is_well_formed(response.access, current):
+                break
+            current.add_all(response.as_facts())
+        return current
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"AccessPath(len={len(self.steps)})"
 

@@ -41,6 +41,7 @@ from repro.runtime import (
     CandidateScreen,
     RelevanceOracle,
     RuntimeMetrics,
+    SharedVerdictStore,
 )
 from repro.schema import Access, Schema
 from repro.sources.service import Mediator
@@ -57,6 +58,7 @@ class AnsweringResult:
     facts_retrieved: int
     relevance_checks: int = 0
     cache_hits: int = 0
+    rounds_exhausted: bool = False
 
     @property
     def boolean_answer(self) -> bool:
@@ -97,6 +99,7 @@ def _result(
     facts_before: int,
     relevance_checks: int,
     cache_hits: int,
+    rounds_exhausted: bool = False,
 ) -> AnsweringResult:
     final_configuration = mediator.configuration_view
     answers = certain_answers(query, final_configuration)
@@ -106,6 +109,7 @@ def _result(
         facts_retrieved=len(final_configuration) - facts_before,
         relevance_checks=relevance_checks,
         cache_hits=cache_hits,
+        rounds_exhausted=rounds_exhausted,
     )
 
 
@@ -115,23 +119,38 @@ def exhaustive_strategy(
     *,
     max_rounds: int = 50,
     metrics: Optional[RuntimeMetrics] = None,
+    parallelism: int = 1,
 ) -> AnsweringResult:
     """Perform every well-formed access until a fixpoint (Li [18]).
 
     Each round's candidate accesses are dispatched as one batch through the
-    executor; the run stops when a round performs no access that returns a
-    new tuple.
+    executor (with ``parallelism > 1``, up to that many accesses of the round
+    overlap their source latency); the run stops when a round merges no new
+    fact.  If ``max_rounds`` ends the run while rounds were still making
+    progress, the result is flagged ``rounds_exhausted`` — the retrieved
+    accessible part (and hence the answer) may be incomplete.
     """
     executor = AccessExecutor(mediator, metrics=metrics)
     facts_before = len(mediator.configuration_view)
+    exhausted = False
     for _round in range(max_rounds):
+        executor.metrics.incr("strategy.rounds")
         candidates = _candidate_accesses(
             mediator.schema, mediator.configuration_view, executor.has_performed_key
         )
-        batch = executor.execute_batch(candidates)
+        batch = executor.execute_batch(candidates, max_concurrency=parallelism)
         if not batch.progressed:
             break
-    return _result(mediator, query, facts_before, 0, 0)
+    else:
+        # The budget ran out while rounds were still progressing.  One free
+        # re-enumeration settles the common complete case: no candidate left
+        # means the fixpoint was reached in exactly ``max_rounds`` rounds.
+        if _candidate_accesses(
+            mediator.schema, mediator.configuration_view, executor.has_performed_key
+        ):
+            exhausted = True
+            executor.metrics.incr("strategy.rounds_exhausted")
+    return _result(mediator, query, facts_before, 0, 0, rounds_exhausted=exhausted)
 
 
 def relevance_guided_strategy(
@@ -144,6 +163,8 @@ def relevance_guided_strategy(
     max_rounds: int = 50,
     oracle: Optional[RelevanceOracle] = None,
     metrics: Optional[RuntimeMetrics] = None,
+    parallelism: int = 1,
+    store: Optional[SharedVerdictStore] = None,
 ) -> AnsweringResult:
     """Only perform accesses that are relevant for the query.
 
@@ -155,6 +176,9 @@ def relevance_guided_strategy(
     that case pass containment ``options`` when constructing the oracle
     (supplying both is rejected), and ``metrics`` only reaches the executor
     and the screening layer (the oracle keeps recording into its own sink).
+    Alternatively a :class:`SharedVerdictStore` for the same (query, schema)
+    lets this run inherit — and extend — the delta-inheritable LTR history
+    and witness paths of earlier runs.
 
     Each round screens its candidates as a batch before touching the oracle:
     candidates outside the relevant-relation closure are dropped, the rest
@@ -163,6 +187,17 @@ def relevance_guided_strategy(
     re-checked against the configuration it actually runs at, which the
     oracle answers incrementally (witness revalidation or delta inheritance)
     rather than by a fresh search.
+
+    With ``parallelism > 1`` the relevant accesses of a round execute
+    concurrently (their simulated or real source latency overlaps), the
+    certainty ``stop`` check still runs between completions, and all oracle
+    work stays on the calling thread.  The answers are the same as a
+    sequential run — the configuration's final content is the union of the
+    same responses — though up to ``parallelism`` accesses dispatched before
+    certainty is reached may additionally complete.
+
+    If ``max_rounds`` ends the run before certainty or a no-progress
+    fixpoint, the result is flagged ``rounds_exhausted``.
     """
     if not use_immediate and not use_long_term:
         raise QueryError("at least one relevance notion must be enabled")
@@ -171,10 +206,21 @@ def relevance_guided_strategy(
             "pass containment options when constructing the RelevanceOracle; "
             "a pre-built oracle's cached verdicts already reflect its options"
         )
+    if oracle is not None and store is not None:
+        raise QueryError(
+            "pass either a pre-built oracle or a SharedVerdictStore, not "
+            "both; attach the store when constructing the oracle instead"
+        )
     schema = mediator.schema
     boolean_query = query if query.is_boolean else query.boolean_closure()
     if oracle is None:
-        oracle = RelevanceOracle(query, schema, options=options, metrics=metrics)
+        # The run's private oracle needs no shards: all oracle calls stay on
+        # this (the dispatching) thread.  Sharding pays on the genuinely
+        # shared surfaces — the attached store, or a caller-built oracle
+        # probed from several answering threads.
+        oracle = RelevanceOracle(
+            query, schema, options=options, metrics=metrics, store=store
+        )
     elif oracle.query != boolean_query:
         raise QueryError(
             "the supplied RelevanceOracle was built for a different query; "
@@ -214,7 +260,9 @@ def relevance_guided_strategy(
             return False
         return True
 
+    exhausted = False
     for _round in range(max_rounds):
+        executor.metrics.incr("strategy.rounds")
         configuration = mediator.configuration_view
         if done(configuration):
             break
@@ -272,9 +320,20 @@ def relevance_guided_strategy(
             relevant,
             precheck=precheck,
             stop=lambda: done(mediator.configuration_view),
+            max_concurrency=parallelism,
         )
         if not batch.progressed or done(mediator.configuration_view):
             break
+    else:
+        # Every allowed round progressed without reaching certainty (or, for
+        # non-Boolean queries, a fixpoint): the answer may be incomplete.
+        # Certainty reached exactly at the budget's edge, or no candidate
+        # left to screen, still count as complete.
+        if not done(mediator.configuration_view) and _candidate_accesses(
+            schema, mediator.configuration_view, executor.has_performed_key
+        ):
+            exhausted = True
+            executor.metrics.incr("strategy.rounds_exhausted")
 
     return _result(
         mediator,
@@ -282,4 +341,5 @@ def relevance_guided_strategy(
         facts_before,
         relevance_checks,
         oracle.cache_hits - hits_before,
+        rounds_exhausted=exhausted,
     )

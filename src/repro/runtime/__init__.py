@@ -15,15 +15,20 @@ needs around the paper's decision procedures:
   screening: the relevant-relation-closure prefilter and structural
   equivalence grouping of candidate bindings;
 * :class:`~repro.runtime.executor.AccessExecutor` — deduplicating, batched
-  access execution against a :class:`~repro.sources.service.Mediator`;
-* :class:`~repro.runtime.metrics.RuntimeMetrics` — counters and timers the
-  other components record into.
+  access execution against a :class:`~repro.sources.service.Mediator`, with
+  ``max_concurrency`` overlapping a batch's source latency;
+* :mod:`~repro.runtime.shards` — lock-protected and sharded LRU caches plus
+  the :class:`~repro.runtime.shards.SharedVerdictStore` that pools LTR
+  history and witnesses across oracles for one (query, schema);
+* :class:`~repro.runtime.metrics.RuntimeMetrics` — thread-safe counters and
+  timers the other components record into.
 """
 
 from repro.runtime.cache import LRUCache, RelevanceOracle, access_key
 from repro.runtime.executor import AccessExecutor, BatchResult
 from repro.runtime.metrics import RuntimeMetrics
 from repro.runtime.screening import CandidateScreen, relevant_relation_closure
+from repro.runtime.shards import ShardedLRUCache, SharedVerdictStore
 from repro.runtime.witness import (
     ConfigurationSnapshot,
     LtrWitness,
@@ -39,6 +44,8 @@ __all__ = [
     "LtrWitness",
     "RelevanceOracle",
     "RuntimeMetrics",
+    "ShardedLRUCache",
+    "SharedVerdictStore",
     "access_key",
     "dependent_input_domains",
     "relevant_relation_closure",

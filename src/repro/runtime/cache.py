@@ -24,12 +24,24 @@ search: long-term relevance goes through the incremental engine of
 
 Entries are evicted least-recently-used beyond ``max_entries`` so a
 long-running mediator cannot grow the cache without bound.
+
+Concurrency: every cache the oracle reads or writes is an
+:class:`~repro.runtime.shards.LRUCache` (lock-protected) or a
+:class:`~repro.runtime.shards.ShardedLRUCache` (per-shard locks keyed by
+``hash(key) % n_shards``).  Within one answering run all oracle calls stay
+on the strategy's dispatching thread (see the mediator's concurrency notes);
+the locks and sharding matter for the *cross-run* surfaces — oracles in
+concurrent answering threads pooling a :class:`SharedVerdictStore`, or any
+caller probing one oracle from several threads — where they prevent
+corruption and keep unrelated access keys from serialising on one dict.
+Verdicts are deterministic functions of configuration content; two threads
+racing on the same miss compute the same value, so no compute-level lock is
+needed.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Dict, Hashable, Optional, Tuple, Union
 
 from repro.core import (
     ContainmentOptions,
@@ -37,8 +49,10 @@ from repro.core import (
     long_term_relevance_with_witness,
 )
 from repro.data import Configuration
+from repro.exceptions import QueryError
 from repro.queries import is_certain
 from repro.runtime.metrics import RuntimeMetrics
+from repro.runtime.shards import LRUCache, ShardedLRUCache, SharedVerdictStore
 from repro.runtime.witness import (
     ConfigurationSnapshot,
     LtrWitness,
@@ -52,45 +66,6 @@ __all__ = ["LRUCache", "RelevanceOracle", "access_key"]
 def access_key(access: Access) -> Tuple[str, Tuple[object, ...]]:
     """A hashable identity for an access: its method name and binding."""
     return (access.method.name, tuple(access.binding))
-
-
-class LRUCache:
-    """A small LRU map with hit/miss accounting."""
-
-    def __init__(self, max_entries: Optional[int] = None) -> None:
-        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
-        self._max_entries = max_entries
-        self.hits = 0
-        self.misses = 0
-
-    def get(self, key: Hashable, default: object = None) -> object:
-        """Look up ``key``, refreshing its recency on a hit."""
-        try:
-            value = self._entries[key]
-        except KeyError:
-            self.misses += 1
-            return default
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return value
-
-    def put(self, key: Hashable, value: object) -> None:
-        """Store ``key`` and evict the least-recently-used overflow."""
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        if self._max_entries is not None:
-            while len(self._entries) > self._max_entries:
-                self._entries.popitem(last=False)
-
-    def discard(self, key: Hashable) -> None:
-        """Drop ``key`` if present (no recency or hit/miss accounting)."""
-        self._entries.pop(key, None)
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
 
 
 _MISSING = object()
@@ -129,16 +104,36 @@ class RelevanceOracle:
         metrics: Optional[RuntimeMetrics] = None,
         max_entries: Optional[int] = 65536,
         incremental: bool = True,
+        n_shards: int = 1,
+        store: Optional[SharedVerdictStore] = None,
     ) -> None:
         self._query = query if query.is_boolean else query.boolean_closure()
         self._schema = schema
         self._options = options
         self._ltr_method = ltr_method
         self._metrics = metrics if metrics is not None else RuntimeMetrics()
-        self._cache = LRUCache(max_entries)
+        self._cache: Union[LRUCache, ShardedLRUCache] = (
+            ShardedLRUCache(max_entries, n_shards=n_shards)
+            if n_shards > 1
+            else LRUCache(max_entries)
+        )
         self._incremental = incremental
-        self._witnesses = LRUCache(max_entries)
-        self._ltr_history = LRUCache(max_entries)
+        if store is not None:
+            store.check_compatible(self._query, schema)
+            if options is not None:
+                raise QueryError(
+                    "pass containment options when constructing the "
+                    "SharedVerdictStore's oracles consistently; a store's "
+                    "histories reflect the options they were computed under"
+                )
+            self._witnesses = store.witnesses
+            self._ltr_history = store.ltr_history
+        elif n_shards > 1:
+            self._witnesses = ShardedLRUCache(max_entries, n_shards=n_shards)
+            self._ltr_history = ShardedLRUCache(max_entries, n_shards=n_shards)
+        else:
+            self._witnesses = LRUCache(max_entries)
+            self._ltr_history = LRUCache(max_entries)
         self._query_relations = frozenset(self._query.relation_names())
         self._unsafe_domains = dependent_input_domains(schema)
 
@@ -248,7 +243,10 @@ class RelevanceOracle:
                 # truncation now satisfies the (monotone) query — the stored
                 # path can never work again, so retrying it on every miss
                 # only adds two query evaluations.  Drop it; a positive fresh
-                # search below re-captures a live witness.
+                # search below re-captures a live witness.  (With a
+                # SharedVerdictStore the next run's configuration may shrink
+                # back below this one; dropping then merely costs reuse,
+                # never soundness.)
                 self._witnesses.discard(akey)
 
         with self._metrics.timer("oracle.long_term"):

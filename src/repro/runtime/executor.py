@@ -7,8 +7,16 @@ with strategy logic.  :class:`AccessExecutor` centralises that bookkeeping:
 * it deduplicates accesses, so an access performed once is never re-sent to a
   source;
 * it executes *batches* — for the exhaustive strategy, a whole round of
-  candidate accesses is dispatched in one call;
-* it records per-run metrics (accesses performed, skipped, facts retrieved).
+  candidate accesses is dispatched in one call, and with ``max_concurrency``
+  the batch's independent accesses overlap their source latency through
+  :meth:`~repro.sources.service.Mediator.perform_many`;
+* it records per-run metrics (accesses performed, skipped, facts retrieved,
+  *new* facts merged).
+
+Progress is measured in **new facts merged**, not tuples returned: with
+overlapping sources an access can return plenty of tuples the configuration
+already knows, and a round of such accesses must not count as progress (the
+strategies would run a provably idle extra round).
 """
 
 from __future__ import annotations
@@ -32,6 +40,7 @@ class BatchResult:
     responses: List[AccessResponse] = field(default_factory=list)
     performed: int = 0
     skipped: int = 0
+    new_facts: int = 0
 
     @property
     def facts_returned(self) -> int:
@@ -40,8 +49,14 @@ class BatchResult:
 
     @property
     def progressed(self) -> bool:
-        """Whether at least one access of the batch returned a tuple."""
-        return any(len(response) > 0 for response in self.responses)
+        """Whether the batch merged at least one fact the configuration lacked.
+
+        Tuples that were already present (overlapping sources re-returning
+        known facts) do not count: re-running a round after a no-new-facts
+        batch is provably idle, since the configuration — and therefore every
+        candidate set and relevance verdict — is unchanged.
+        """
+        return self.new_facts > 0
 
 
 class AccessExecutor:
@@ -80,7 +95,7 @@ class AccessExecutor:
         if key in self._performed:
             self._metrics.incr("executor.skipped")
             return None
-        response = self._mediator.perform(access)
+        response, _new_facts = self._mediator.perform_counted(access)
         self._performed.add(key)
         self._metrics.incr("executor.performed")
         self._metrics.incr("executor.facts", len(response))
@@ -92,29 +107,60 @@ class AccessExecutor:
         *,
         precheck: Optional[Callable[[Access], bool]] = None,
         stop: Optional[Callable[[], bool]] = None,
+        max_concurrency: int = 1,
     ) -> BatchResult:
-        """Perform every not-yet-performed access of the batch, in order.
+        """Perform every not-yet-performed access of the batch.
 
-        ``precheck`` is consulted immediately before each execution, against
-        whatever state earlier accesses of the batch produced — the
+        ``precheck`` is consulted immediately before each dispatch, against
+        whatever state earlier completions of the batch merged — the
         relevance-guided strategy passes its oracle here, so an access
         screened relevant at the top of the round is re-validated (cheaply,
         through the incremental engine) at the configuration it actually
-        executes against.  ``stop`` aborts the rest of the batch (e.g. the
-        query became certain).
+        executes against.  ``stop`` ends the batch between completions (e.g.
+        the query became certain); responses already in flight are still
+        merged, so the performed set always equals the dispatched set.
+
+        With ``max_concurrency > 1`` the batch overlaps source latency
+        through :meth:`Mediator.perform_many`; prechecks, stop checks, and
+        merges all stay on the calling thread (see the mediator's concurrency
+        notes), so the semantics match the sequential path except that up to
+        ``max_concurrency`` accesses dispatched before a stop may complete.
         """
         result = BatchResult()
+
+        deduplicated: List[Access] = []
+        seen: Set[Tuple[str, Tuple[object, ...]]] = set()
         for access in accesses:
-            if stop is not None and stop():
-                break
+            key = self.key(access)
+            if key in self._performed or key in seen:
+                result.skipped += 1
+                self._metrics.incr("executor.skipped")
+                continue
+            seen.add(key)
+            deduplicated.append(access)
+
+        def should_perform(access: Access) -> bool:
             if precheck is not None and not precheck(access):
                 result.skipped += 1
                 self._metrics.incr("executor.precheck_skipped")
-                continue
-            response = self.execute(access)
-            if response is None:
-                result.skipped += 1
-                continue
+                return False
+            return True
+
+        def on_performed(access: Access, response: AccessResponse, new_facts: int) -> None:
+            # Recorded per merge, not after the batch: accesses performed
+            # before a mid-batch failure stay deduplicated on a retry.
+            self._performed.add(self.key(access))
+            self._metrics.incr("executor.performed")
+            self._metrics.incr("executor.facts", len(response))
             result.performed += 1
             result.responses.append(response)
+            result.new_facts += new_facts
+
+        self._mediator.perform_many(
+            deduplicated,
+            max_concurrency=max_concurrency,
+            stop=stop,
+            should_perform=should_perform if precheck is not None else None,
+            on_performed=on_performed,
+        )
         return result

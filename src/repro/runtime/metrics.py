@@ -5,11 +5,18 @@ The runtime layer (oracle, executor, mediator) records how much work it does
 relevance procedures — so benchmark runs and production deployments can
 observe the effect of memoization without attaching a profiler.  The
 implementation is deliberately dependency-free: plain dictionaries, explicit
-snapshots.
+snapshots, one lock.
+
+The lock matters because a single metrics sink is shared by every component
+of an answering run, including the worker threads of the parallel executor:
+``dict.get`` + store is not atomic, so unlocked concurrent ``incr`` calls
+lose counts.  Timers only lock the accumulation, never the timed body, so
+concurrent ``timer`` blocks overlap freely (their durations sum, as before).
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Dict, Iterator
@@ -18,22 +25,25 @@ __all__ = ["RuntimeMetrics"]
 
 
 class RuntimeMetrics:
-    """A bag of named counters and cumulative timers."""
+    """A thread-safe bag of named counters and cumulative timers."""
 
     def __init__(self) -> None:
         self._counters: Dict[str, int] = {}
         self._timers: Dict[str, float] = {}
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Counters
     # ------------------------------------------------------------------ #
     def incr(self, name: str, amount: int = 1) -> None:
         """Increment counter ``name`` by ``amount``."""
-        self._counters[name] = self._counters.get(name, 0) + amount
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
 
     def count(self, name: str) -> int:
         """Current value of counter ``name`` (0 if never incremented)."""
-        return self._counters.get(name, 0)
+        with self._lock:
+            return self._counters.get(name, 0)
 
     # ------------------------------------------------------------------ #
     # Timers
@@ -46,26 +56,30 @@ class RuntimeMetrics:
             yield
         finally:
             elapsed = time.perf_counter() - started
-            self._timers[name] = self._timers.get(name, 0.0) + elapsed
+            with self._lock:
+                self._timers[name] = self._timers.get(name, 0.0) + elapsed
 
     def elapsed(self, name: str) -> float:
         """Cumulative seconds recorded under timer ``name``."""
-        return self._timers.get(name, 0.0)
+        with self._lock:
+            return self._timers.get(name, 0.0)
 
     # ------------------------------------------------------------------ #
     # Reporting
     # ------------------------------------------------------------------ #
     def snapshot(self) -> Dict[str, object]:
         """A plain-dict snapshot (counters and timers)."""
-        return {
-            "counters": dict(self._counters),
-            "timers": dict(self._timers),
-        }
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "timers": dict(self._timers),
+            }
 
     def reset(self) -> None:
         """Drop all recorded values."""
-        self._counters.clear()
-        self._timers.clear()
+        with self._lock:
+            self._counters.clear()
+            self._timers.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"RuntimeMetrics(counters={self._counters!r})"

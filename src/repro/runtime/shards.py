@@ -1,0 +1,212 @@
+"""Sharded, lock-protected verdict storage for concurrent answering runs.
+
+The memoization layer of :class:`~repro.runtime.cache.RelevanceOracle` was
+built for a single-threaded answering loop: one ``OrderedDict`` per verdict
+kind.  A concurrent runtime breaks that in two ways —
+
+* worker threads screening and prechecking accesses would serialize on the
+  single dict (and corrupt it without a lock: ``OrderedDict.move_to_end``
+  during ``popitem`` is not atomic);
+* several oracles over the *same* Boolean query (repeated benchmark runs, the
+  planned multi-query mediator) each rebuild witness paths and LTR history the
+  others already paid for.
+
+This module provides the two missing pieces:
+
+* :class:`LRUCache` — the original LRU map, now guarded by an internal lock
+  so concurrent ``get``/``put`` cannot corrupt the recency order (each
+  instance doubles as one *shard*);
+* :class:`ShardedLRUCache` — splits one logical cache over
+  ``hash(key) % n_shards`` independent :class:`LRUCache` shards, so threads
+  touching different access keys contend on different locks;
+* :class:`SharedVerdictStore` — the delta-inheritable LTR history and witness
+  paths for one ``(query, schema)`` pair, shareable across any number of
+  oracles (cross-query verdict sharing, scoped to *identical* Boolean
+  queries: the verdicts are functions of the query, so nothing weaker is
+  sound).
+
+Locks protect structural integrity only.  Verdicts are deterministic
+functions of the configuration content, so two threads racing to compute the
+same entry both write the same value — the last writer wins harmlessly.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable, List, Optional
+
+from repro.exceptions import QueryError
+from repro.schema import Schema
+
+__all__ = ["LRUCache", "ShardedLRUCache", "SharedVerdictStore"]
+
+
+class LRUCache:
+    """A small LRU map with hit/miss accounting, safe under concurrent use.
+
+    A single internal lock serialises structural mutation (lookup refreshes
+    recency, so even ``get`` mutates).  For contended workloads, shard
+    several instances with :class:`ShardedLRUCache` instead of lengthening
+    the critical section here.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._max_entries = max_entries
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable, default: object = None) -> object:
+        """Look up ``key``, refreshing its recency on a hit."""
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Store ``key`` and evict the least-recently-used overflow."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            if self._max_entries is not None:
+                while len(self._entries) > self._max_entries:
+                    self._entries.popitem(last=False)
+
+    def discard(self, key: Hashable) -> None:
+        """Drop ``key`` if present (no recency or hit/miss accounting)."""
+        with self._lock:
+            self._entries.pop(key, None)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+
+class ShardedLRUCache:
+    """One logical LRU cache split over ``n_shards`` lock-independent shards.
+
+    Keys route to ``hash(key) % n_shards``; each shard is a plain
+    :class:`LRUCache` whose internal lock is the per-shard lock, so threads
+    working on different access keys do not serialise on one dict.  The
+    ``max_entries`` budget is divided evenly across shards (the eviction
+    policy becomes per-shard LRU — an acceptable approximation of global
+    LRU for verdict caching).
+    """
+
+    def __init__(self, max_entries: Optional[int] = None, *, n_shards: int = 8) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be at least 1")
+        per_shard = (
+            None if max_entries is None else max(1, -(-max_entries // n_shards))
+        )
+        self._shards: List[LRUCache] = [LRUCache(per_shard) for _ in range(n_shards)]
+
+    @property
+    def n_shards(self) -> int:
+        """Number of independent shards."""
+        return len(self._shards)
+
+    def _shard(self, key: Hashable) -> LRUCache:
+        return self._shards[hash(key) % len(self._shards)]
+
+    @property
+    def hits(self) -> int:
+        """Hits across all shards."""
+        return sum(shard.hits for shard in self._shards)
+
+    @property
+    def misses(self) -> int:
+        """Misses across all shards."""
+        return sum(shard.misses for shard in self._shards)
+
+    def get(self, key: Hashable, default: object = None) -> object:
+        """Look up ``key`` in its shard, refreshing recency on a hit."""
+        return self._shard(key).get(key, default)
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Store ``key`` in its shard, evicting that shard's LRU overflow."""
+        self._shard(key).put(key, value)
+
+    def discard(self, key: Hashable) -> None:
+        """Drop ``key`` from its shard if present."""
+        self._shard(key).discard(key)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._shard(key)
+
+
+class SharedVerdictStore:
+    """Incremental LTR state shared by every oracle over one (query, schema).
+
+    Holds the two caches whose contents transfer soundly *across* oracle
+    instances: the per-access LTR history (verdict + dependency snapshot,
+    inheritable whenever :meth:`ConfigurationSnapshot.delta_safe` accepts the
+    new configuration) and the captured witness paths (revalidatable in
+    O(|path|) at any configuration).  Both are keyed by the access alone —
+    their soundness arguments compare configuration *content*, never the
+    identity of the run that recorded them — so repeated benchmark runs,
+    parallel answering workers, and the planned multi-query mediator can all
+    pool them.
+
+    Sharing is scoped to *identical* Boolean queries over the *same* schema
+    object: :class:`~repro.runtime.cache.RelevanceOracle` validates both at
+    attach time and raises :class:`~repro.exceptions.QueryError` otherwise.
+    """
+
+    def __init__(
+        self,
+        query,
+        schema: Schema,
+        *,
+        max_entries: Optional[int] = 65536,
+        n_shards: int = 8,
+    ) -> None:
+        self._query = query if query.is_boolean else query.boolean_closure()
+        self._schema = schema
+        self.ltr_history = ShardedLRUCache(max_entries, n_shards=n_shards)
+        self.witnesses = ShardedLRUCache(max_entries, n_shards=n_shards)
+
+    @property
+    def query(self):
+        """The Boolean query the stored verdicts are about."""
+        return self._query
+
+    @property
+    def schema(self) -> Schema:
+        """The schema the stored verdicts were computed against."""
+        return self._schema
+
+    def check_compatible(self, query, schema: Schema) -> None:
+        """Raise unless an oracle for ``(query, schema)`` may attach."""
+        boolean = query if query.is_boolean else query.boolean_closure()
+        if boolean != self._query:
+            raise QueryError(
+                "SharedVerdictStore was built for a different query; LTR "
+                "history and witnesses only transfer between identical "
+                "Boolean queries"
+            )
+        if schema is not self._schema:
+            raise QueryError(
+                "SharedVerdictStore was built for a different schema object; "
+                "construct oracles and the store from the same schema"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SharedVerdictStore(query={getattr(self._query, 'name', None)!r}, "
+            f"histories={len(self.ltr_history)}, witnesses={len(self.witnesses)})"
+        )

@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import FrozenSet, Iterable, Mapping, Tuple
 
-from repro.data import AccessResponse, Configuration, is_well_formed
+from repro.data import AccessPath, AccessResponse, Configuration, is_well_formed
 from repro.queries import evaluate_boolean
 from repro.schema import AbstractDomain, Access, Schema
 
@@ -151,6 +151,16 @@ class LtrWitness:
         separate check).  ``False`` only means the *stored* path no longer
         works; the caller decides whether to search afresh.
 
+        The truncation is replayed through
+        :meth:`~repro.data.paths.AccessPath.truncation_final_configuration` —
+        the same code the fresh search evaluates candidate paths with — so an
+        accepted revalidation certifies the path by *exactly* the criterion
+        :func:`~repro.core.longterm_dependent.find_ltr_witness_steps` uses:
+        the longest well-formed prefix after dropping the probed access (a
+        step that is only well-formed given the probed access's outputs ends
+        the truncation there, and later steps are dropped with it, whether or
+        not they depend on the probed access).
+
         Cost: two configuration copies (not one per step), |path|
         well-formedness checks and fact merges, and two query evaluations.
         """
@@ -161,11 +171,9 @@ class LtrWitness:
             current.add_all(step.as_facts())
         if not evaluate_boolean(query, current):
             return False
-        truncated = configuration.copy()
-        for step in self.steps[1:]:
-            if not is_well_formed(step.access, truncated):
-                break
-            truncated.add_all(step.as_facts())
+        truncated = AccessPath(
+            configuration, list(self.steps)
+        ).truncation_final_configuration()
         return not evaluate_boolean(query, truncated)
 
     def translated(self, mapping: Mapping[object, object]) -> "LtrWitness":

@@ -7,18 +7,46 @@ module simulates that setting:
 * a :class:`DataSource` wraps a *hidden* instance together with one access
   method; it answers accesses soundly, either exactly (all matching tuples)
   or partially (a sampled subset), modelling sources with incomplete
-  knowledge;
+  knowledge, and can simulate *access latency* — the round-trip delay that
+  dominates real deep-Web wall-clock;
 * a :class:`Mediator` owns the current configuration — everything retrieved
   so far — performs well-formed accesses against the sources, and keeps an
   access log, so answering strategies (see :mod:`repro.planner.dynamic`) can
   be compared by the number of accesses they make.
+
+Concurrency model (see also the README section): the mediator can overlap
+independent accesses with :meth:`Mediator.perform_many`.  Worker threads
+(``concurrent.futures.ThreadPoolExecutor``) call only
+:meth:`DataSource.respond` — a pure read of the immutable hidden instance
+plus the simulated latency sleep.  Threads are the right tool here (rather
+than asyncio): source latency is I/O-shaped waiting, which the GIL releases,
+and the entire planner/oracle stack stays synchronous — an async path would
+force ``await`` contagion through every relevance procedure for no extra
+overlap.  All configuration mutation, access logging, and caller callbacks
+(``stop``, ``should_perform``) stay on the *dispatching* thread, serialised
+by the mediator's single writer lock, so relevance oracles and certainty
+checks never observe a configuration mid-merge.
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
+import threading
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor
+from concurrent.futures import wait as futures_wait
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runtime imports us)
     from repro.runtime.metrics import RuntimeMetrics
@@ -48,10 +76,23 @@ class DataSource:
     completeness:
         Probability that each matching tuple is included in a response;
         ``1.0`` models an exact source, smaller values model sound but
-        partial sources.
+        partial sources.  Inclusion is decided by a stable per-tuple hash of
+        ``(seed, access, tuple)``, so a given access always returns the same
+        subset — independent of call order, process hash seed, or how many
+        worker threads are querying the source.
     seed:
-        Seed of the per-source random generator (for reproducible partial
-        responses).
+        Seed of the per-source randomness (partial-response sampling and
+        latency jitter).
+    latency_s:
+        Fixed simulated round-trip delay per access, in seconds.
+    latency_jitter_s:
+        Upper bound of an additional uniform per-call delay drawn from the
+        source's seeded random generator.
+
+    ``respond`` may be called from many threads at once: the hidden instance
+    is only read, the call counter and the jitter draw are guarded by a
+    per-source lock, and the latency sleep happens outside that lock so
+    concurrent accesses genuinely overlap.
     """
 
     def __init__(
@@ -61,19 +102,41 @@ class DataSource:
         *,
         completeness: float = 1.0,
         seed: int = 0,
+        latency_s: float = 0.0,
+        latency_jitter_s: float = 0.0,
     ) -> None:
         if not 0.0 <= completeness <= 1.0:
             raise AccessError("completeness must be between 0 and 1")
+        if latency_s < 0.0 or latency_jitter_s < 0.0:
+            raise AccessError("latency and jitter must be non-negative")
         self._method = method
         self._hidden = hidden_instance
         self._completeness = completeness
+        self._seed = seed
         self._random = random.Random(seed)
+        self._latency_s = latency_s
+        self._latency_jitter_s = latency_jitter_s
+        self._lock = threading.Lock()
         self.calls = 0
 
     @property
     def method(self) -> AccessMethod:
         """The access method implemented by this source."""
         return self._method
+
+    @property
+    def latency_s(self) -> float:
+        """The fixed simulated per-access delay."""
+        return self._latency_s
+
+    def _keeps(self, access: Access, row: Tuple[object, ...]) -> bool:
+        """Stable inclusion decision for one matching tuple of a partial source."""
+        if self._completeness >= 1.0:
+            return True
+        token = repr((self._seed, self._method.name, access.binding, row)).encode()
+        digest = hashlib.blake2b(token, digest_size=8).digest()
+        draw = int.from_bytes(digest, "big") / 2.0**64
+        return draw <= self._completeness
 
     def respond(self, access: Access) -> AccessResponse:
         """Answer an access (which must use this source's method)."""
@@ -82,7 +145,14 @@ class DataSource:
                 f"source for {self._method.name!r} received an access via "
                 f"{access.method.name!r}"
             )
-        self.calls += 1
+        with self._lock:
+            self.calls += 1
+            delay = self._latency_s
+            if self._latency_jitter_s > 0.0:
+                delay += self._random.random() * self._latency_jitter_s
+        if delay > 0.0:
+            # Outside the lock: concurrent accesses to one source overlap.
+            time.sleep(delay)
         # Serve the access from the hidden instance's (place, constant)
         # indexes: only tuples agreeing with the binding are enumerated.
         matching = sorted(
@@ -92,9 +162,7 @@ class DataSource:
         if self._completeness >= 1.0:
             chosen: Sequence[Tuple[object, ...]] = matching
         else:
-            chosen = [
-                row for row in matching if self._random.random() <= self._completeness
-            ]
+            chosen = [row for row in matching if self._keeps(access, row)]
         # The tuples come from an index lookup keyed on the binding, over an
         # instance validated at construction: skip per-tuple re-validation.
         return AccessResponse.trusted(access, tuple(chosen))
@@ -106,6 +174,12 @@ class Mediator:
     The mediator's state is its configuration; every successful access grows
     it.  Accesses that are not well-formed (a dependent binding value not yet
     known) are rejected, mirroring the paper's semantics.
+
+    Ordering guarantees under :meth:`perform_many`: responses are merged and
+    logged one at a time under the writer lock, in completion order — the
+    *set* of performed accesses and the final configuration are deterministic
+    for exact sources, while the log *order* within a concurrent batch is
+    not.  Each merge keeps the all-or-nothing semantics of :meth:`perform`.
     """
 
     def __init__(
@@ -131,6 +205,7 @@ class Mediator:
         )
         self._log: List[Tuple[Access, int]] = []
         self._metrics = metrics
+        self._merge_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # State
@@ -152,6 +227,10 @@ class Mediator:
         Unlike :attr:`configuration` this does not copy; the returned object
         changes as accesses are performed.  Callers must not mutate it — the
         answering strategies use it to avoid per-candidate deep copies.
+        During a :meth:`perform_many` batch the view only changes on the
+        dispatching thread (merges happen between, not during, caller
+        callbacks), so strategies reading it from that thread never observe a
+        partial merge.
         """
         return self._configuration
 
@@ -184,6 +263,48 @@ class Mediator:
         """Whether the access is well-formed at the current configuration."""
         return is_well_formed(access, self._configuration)
 
+    def _merge_response(self, access: Access, response: AccessResponse) -> int:
+        """Merge one response under the writer lock; return the new-fact count.
+
+        All-or-nothing: if a response tuple fails validation part-way
+        (possible with duck-typed sources), the merged prefix is rolled back
+        so the configuration never keeps facts from a failed access.
+        """
+        relation_name = access.relation.name
+        with self._merge_lock:
+            configuration = self._configuration
+            added: List[Tuple[object, ...]] = []
+            try:
+                for values in response.facts:
+                    if configuration.add(relation_name, values):
+                        added.append(values)
+            except Exception:
+                for values in added:
+                    configuration.remove(relation_name, values)
+                raise
+            new_facts = len(added)
+            self._log.append((access, len(response)))
+        if self._metrics is not None:
+            self._metrics.incr("mediator.accesses")
+            self._metrics.incr("mediator.facts_returned", len(response))
+            self._metrics.incr("mediator.facts_new", new_facts)
+        return new_facts
+
+    def perform_counted(self, access: Access) -> Tuple[AccessResponse, int]:
+        """Perform a well-formed access; return ``(response, new facts merged)``.
+
+        ``new facts merged`` counts only tuples the configuration did not
+        already contain — the progress measure the answering strategies use
+        (a response full of already-known tuples is not progress).
+        """
+        if not self.can_perform(access):
+            raise AccessError(
+                f"access {access!r} is not well-formed at the current configuration"
+            )
+        response = self.source_for(access.method.name).respond(access)
+        new_facts = self._merge_response(access, response)
+        return response, new_facts
+
     def perform(self, access: Access) -> AccessResponse:
         """Perform a well-formed access and merge its response.
 
@@ -191,32 +312,107 @@ class Mediator:
         indexed instance absorbs them incrementally); external snapshots taken
         via :attr:`configuration` are unaffected.
         """
-        if not self.can_perform(access):
-            raise AccessError(
-                f"access {access!r} is not well-formed at the current configuration"
-            )
-        response = self.source_for(access.method.name).respond(access)
-        relation_name = access.relation.name
-        configuration = self._configuration
-        # All-or-nothing merge: if a response tuple fails validation part-way
-        # (possible with duck-typed sources), roll the merged prefix back so
-        # the configuration never keeps facts from a failed access.
-        added: List[Tuple[object, ...]] = []
-        try:
-            for values in response.facts:
-                if configuration.add(relation_name, values):
-                    added.append(values)
-        except Exception:
-            for values in added:
-                configuration.remove(relation_name, values)
-            raise
-        new_facts = len(added)
-        self._log.append((access, len(response)))
-        if self._metrics is not None:
-            self._metrics.incr("mediator.accesses")
-            self._metrics.incr("mediator.facts_returned", len(response))
-            self._metrics.incr("mediator.facts_new", new_facts)
-        return response
+        return self.perform_counted(access)[0]
+
+    def perform_many(
+        self,
+        accesses: Iterable[Access],
+        *,
+        max_concurrency: int = 1,
+        stop: Optional[Callable[[], bool]] = None,
+        should_perform: Optional[Callable[[Access], bool]] = None,
+        on_performed: Optional[Callable[[Access, AccessResponse, int], None]] = None,
+    ) -> List[Tuple[Access, AccessResponse, int]]:
+        """Perform a batch of accesses, overlapping their source latency.
+
+        Up to ``max_concurrency`` accesses are in flight at once; worker
+        threads only call :meth:`DataSource.respond`, while this (the
+        dispatching) thread checks well-formedness, consults
+        ``should_perform`` immediately before each dispatch, merges completed
+        responses one at a time under the writer lock, and evaluates ``stop``
+        between completions.  Once ``stop`` returns true no further access is
+        dispatched; accesses already in flight were genuinely sent to their
+        sources, so their responses are still merged and logged (the
+        performed set equals the dispatched set).
+
+        ``on_performed`` is invoked on this thread right after each merge —
+        callers tracking which accesses were performed (the executor's
+        deduplication set) see every merge even if a later access of the
+        batch fails and the call raises.
+
+        Returns ``(access, response, new facts merged)`` triples in merge
+        (completion) order.  With ``max_concurrency <= 1`` the batch runs
+        strictly sequentially on this thread with identical semantics.
+        """
+        pending = deque(accesses)
+        performed: List[Tuple[Access, AccessResponse, int]] = []
+
+        def record(access: Access, response: AccessResponse, new_facts: int) -> None:
+            performed.append((access, response, new_facts))
+            if on_performed is not None:
+                on_performed(access, response, new_facts)
+
+        if max_concurrency <= 1:
+            while pending:
+                if stop is not None and stop():
+                    break
+                access = pending.popleft()
+                if should_perform is not None and not should_perform(access):
+                    continue
+                response, new_facts = self.perform_counted(access)
+                record(access, response, new_facts)
+            return performed
+
+        errors: List[BaseException] = []
+        stopped = False
+        with ThreadPoolExecutor(max_workers=max_concurrency) as pool:
+            in_flight: Dict[object, Access] = {}
+
+            def dispatch_more() -> None:
+                nonlocal stopped
+                while pending and len(in_flight) < max_concurrency and not stopped:
+                    if stop is not None and stop():
+                        stopped = True
+                        break
+                    access = pending.popleft()
+                    if should_perform is not None and not should_perform(access):
+                        continue
+                    if not self.can_perform(access):
+                        errors.append(
+                            AccessError(
+                                f"access {access!r} is not well-formed at the "
+                                f"current configuration"
+                            )
+                        )
+                        stopped = True
+                        break
+                    source = self.source_for(access.method.name)
+                    in_flight[pool.submit(source.respond, access)] = access
+
+            dispatch_more()
+            while in_flight:
+                done, _ = futures_wait(in_flight, return_when=FIRST_COMPLETED)
+                for future in done:
+                    access = in_flight.pop(future)
+                    try:
+                        response = future.result()
+                    except BaseException as exc:  # drain remaining in-flight work
+                        errors.append(exc)
+                        stopped = True
+                        continue
+                    try:
+                        new_facts = self._merge_response(access, response)
+                    except BaseException as exc:
+                        errors.append(exc)
+                        stopped = True
+                        continue
+                    record(access, response, new_facts)
+                if stop is not None and not stopped and stop():
+                    stopped = True
+                dispatch_more()
+        if errors:
+            raise errors[0]
+        return performed
 
     def seed_constants(self, constants: Iterable[Tuple[object, object]]) -> None:
         """Make constants (e.g. query constants) available for dependent bindings."""

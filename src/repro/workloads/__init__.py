@@ -14,6 +14,7 @@ from repro.workloads.scenarios import (
     dependent_chain_scenario,
     diamond_scenario,
     fanout_scenario,
+    wide_fanout_scenario,
     independent_pq_scenario,
     independent_scenario,
     small_arity_scenario,
@@ -34,6 +35,7 @@ __all__ = [
     "independent_pq_scenario",
     "dependent_chain_scenario",
     "fanout_scenario",
+    "wide_fanout_scenario",
     "diamond_scenario",
     "small_arity_scenario",
     "containment_example_scenario",

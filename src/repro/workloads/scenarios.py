@@ -22,6 +22,7 @@ __all__ = [
     "independent_pq_scenario",
     "dependent_chain_scenario",
     "fanout_scenario",
+    "wide_fanout_scenario",
     "diamond_scenario",
     "small_arity_scenario",
     "containment_example_scenario",
@@ -46,17 +47,39 @@ class RelevanceScenario:
     expected_long_term: Optional[bool] = None
     hidden_instance: Optional[Instance] = None
 
-    def mediator(self):
-        """A mediator over exact simulated sources (requires a hidden instance)."""
+    def mediator(
+        self,
+        *,
+        latency_s: float = 0.0,
+        latency_jitter_s: float = 0.0,
+        completeness: float = 1.0,
+        seed: int = 0,
+        metrics=None,
+    ):
+        """A mediator over simulated sources (requires a hidden instance).
+
+        ``latency_s``/``latency_jitter_s`` give every source a simulated
+        access delay — the regime where the parallel answering runtime pays;
+        ``completeness``/``seed`` build sound-but-partial sources.
+        """
         if self.hidden_instance is None:
             raise ValueError(f"scenario {self.name!r} has no hidden instance")
         from repro.sources.service import DataSource, Mediator
 
         sources = [
-            DataSource(method, self.hidden_instance)
-            for method in self.schema.access_methods
+            DataSource(
+                method,
+                self.hidden_instance,
+                completeness=completeness,
+                seed=seed + index,
+                latency_s=latency_s,
+                latency_jitter_s=latency_jitter_s,
+            )
+            for index, method in enumerate(self.schema.access_methods)
         ]
-        return Mediator(self.schema, sources, self.configuration.copy())
+        return Mediator(
+            self.schema, sources, self.configuration.copy(), metrics=metrics
+        )
 
 
 def independent_scenario(query_size: int = 3, seed: int = 1) -> RelevanceScenario:
@@ -107,7 +130,13 @@ def dependent_chain_scenario(length: int = 3) -> RelevanceScenario:
     )
 
 
-def fanout_scenario(branches: int = 3, *, audit: bool = True) -> RelevanceScenario:
+def fanout_scenario(
+    branches: int = 3,
+    *,
+    audit: bool = True,
+    mids: int = 1,
+    satisfiable: bool = True,
+) -> RelevanceScenario:
     """Wide fanout: one hub access feeds ``branches`` parallel joins.
 
     ``Hub(src, mid)`` is reached by a dependent access on ``src``; each
@@ -121,9 +150,20 @@ def fanout_scenario(branches: int = 3, *, audit: bool = True) -> RelevanceScenar
     output domain feeds nothing: its accesses fail the relevant-relation
     closure, and its facts are the canonical *query-irrelevant delta* the
     verdict-inheritance test accepts.
+
+    ``mids`` widens the fanout further: the hub returns that many distinct
+    ``mid`` values, every one of which seeds a probe of every branch — one
+    answering round then holds ``branches × mids`` independent relevant
+    accesses, the access-bound regime the parallel executor is built for.
+    Only ``m0`` carries branch facts; with ``satisfiable=False`` even
+    ``m0``'s last branch is left empty, so the query never becomes certain
+    and every strategy (any parallelism level) performs exactly the same
+    relevant access set before reaching its fixpoint.
     """
     if branches < 1:
         raise ValueError("fanout needs at least one branch")
+    if mids < 1:
+        raise ValueError("fanout needs at least one mid value")
     builder = SchemaBuilder()
     builder.domain("S")
     builder.domain("M")
@@ -146,21 +186,41 @@ def fanout_scenario(branches: int = 3, *, audit: bool = True) -> RelevanceScenar
     configuration.add_constant("start", schema.relation("Hub").domain_of(0))
 
     hidden = Instance(schema)
-    hidden.add("Hub", ("start", "m0"))
-    for index in range(1, branches + 1):
+    for mid_index in range(mids):
+        hidden.add("Hub", ("start", f"m{mid_index}"))
+    populated = branches if satisfiable else branches - 1
+    for index in range(1, populated + 1):
         hidden.add(f"B{index}", ("m0", f"leaf{index}"))
     if audit:
         hidden.add("Audit", ("m0", "note0"))
 
     access = Access(schema.access_method("accHub"), ("start",))
     return RelevanceScenario(
-        f"fanout-{branches}",
+        f"fanout-{branches}x{mids}" if mids > 1 else f"fanout-{branches}",
         schema,
         configuration,
         query,
         access,
         expected_long_term=True,
         hidden_instance=hidden,
+    )
+
+
+def wide_fanout_scenario(
+    branches: int = 8, mids: int = 4, *, satisfiable: bool = False
+) -> RelevanceScenario:
+    """A fanout-heavy answering workload where parallelism actually pays.
+
+    One hub access exposes ``mids`` mid values, after which a single round
+    holds ``branches × mids`` independent relevant branch accesses — under
+    simulated source latency the sequential strategy pays one round-trip per
+    access while the parallel executor overlaps them.  By default the query
+    is kept unsatisfiable (one branch empty), so runs at every parallelism
+    level perform the identical relevant access set; see
+    :func:`fanout_scenario` for the knobs.
+    """
+    return fanout_scenario(
+        branches, audit=True, mids=mids, satisfiable=satisfiable
     )
 
 

@@ -294,6 +294,73 @@ def test_witness_revalidation_reuses_positive_verdicts():
     )
 
 
+def test_revalidate_truncation_matches_fresh_search_exactly():
+    """Regression for the truncation semantics of ``LtrWitness.revalidate``.
+
+    The fresh search truncates a candidate path by dropping the probed access
+    and keeping the longest *well-formed prefix* of the rest: a middle step
+    that is only well-formed given the probed access's outputs ends the
+    truncation there, and every later step is dropped with it — even one
+    that does not depend on the probed access.  ``revalidate`` must apply the
+    identical rule (it now literally shares the implementation through
+    ``AccessPath.truncation_final_configuration``); a skip-the-ill-formed-step
+    variant would keep the later step and flip the verdict on this path.
+    """
+    from repro import AccessResponse, parse_cq
+    from repro.core import find_ltr_witness_steps
+    from repro.data import AccessPath
+    from repro.runtime import LtrWitness
+
+    builder = SchemaBuilder()
+    builder.domain("S")
+    builder.domain("M")
+    builder.domain("L")
+    builder.relation("Hub", [("src", "S"), ("mid", "M")])
+    builder.relation("Next", [("mid", "M"), ("leaf", "L")])
+    builder.access("accHub", "Hub", inputs=["src"], dependent=True)
+    builder.access("accNext", "Next", inputs=["mid"], dependent=True)
+    # A second, input-free method over Next: well-formed at any
+    # configuration, so its step never depends on the probed access.
+    builder.access("accNextAll", "Next", inputs=[], dependent=True)
+    schema = builder.build()
+    query = parse_cq(schema, "Next(m, l)", name="reach")
+
+    configuration = Configuration(schema)
+    configuration.add_constant("start", schema.relation("Hub").domain_of(0))
+
+    probed = Access(schema.access_method("accHub"), ("start",))
+    steps = (
+        AccessResponse.trusted(probed, (("start", "m0"),)),
+        # Middle step: well-formed only once the probed access exposed m0.
+        AccessResponse.trusted(
+            Access(schema.access_method("accNext"), ("m0",)), (("m0", "leaf0"),)
+        ),
+        # Later step: independent of the probed access, and its fact alone
+        # satisfies the query — kept, it would invalidate the witness.
+        AccessResponse.trusted(
+            Access(schema.access_method("accNextAll"), ()), (("m1", "leaf1"),)
+        ),
+    )
+    witness = LtrWitness(steps)
+
+    # The shared truncation drops the middle step AND the later independent
+    # step with it; a skip variant would keep Next(m1, leaf1).
+    truncated = AccessPath(configuration, list(steps)).truncation_final_configuration()
+    assert not truncated.contains("Next", ("m1", "leaf1"))
+    assert len(truncated) == 0
+
+    assert witness.revalidate(query, configuration)
+    # ... which matches the fresh search's verdict for the probed access.
+    assert find_ltr_witness_steps(query, probed, configuration, schema) is not None
+
+    # Once the query is certain the truncation satisfies it, and both the
+    # revalidation and the fresh search refuse the witness.
+    certain = configuration.copy()
+    certain.add("Next", ("m9", "leaf9"))
+    assert not witness.revalidate(query, certain)
+    assert find_ltr_witness_steps(query, probed, certain, schema) is None
+
+
 def test_captured_witness_is_a_valid_path():
     scenario = fanout_scenario(2)
     oracle = RelevanceOracle(scenario.query, scenario.schema)
