@@ -1,0 +1,186 @@
+"""Experiment SERVER-multiquery: the query-server runtime.
+
+Measures the three claims of the multi-query answering server:
+
+* **batch sharing** — answering N queries through one :class:`QueryServer`
+  performs far fewer accesses (and far less search work) than N independent
+  guided runs, with identical answers;
+* **process-pool searches** — on a CPU-bound batch (zero source latency,
+  fresh-LTR-search dominated), ``search_workers=4`` beats the single-process
+  server ≥ 2× with identical answers and access sets.  The speedup assertion
+  is enforced only on machines with ≥ 4 CPUs — process workers cannot beat
+  the GIL on a single core — but the *equivalence* assertions always run;
+* **persistent witness cache** — a warm restart against a populated cache
+  file revalidates stored witness paths (nonzero ``witness.revalidated``)
+  and runs strictly fewer fresh LTR searches than the cold run, with
+  identical answers.
+
+The guided-strategy benchmarks here are part of the CI regression gate
+(``compare_bench.py --gate guided,server``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.planner import relevance_guided_strategy
+from repro.runtime import QueryServer, RuntimeMetrics
+from repro.workloads import bank_multi_query_scenario, multi_query_scenario
+
+
+def _smoke() -> bool:
+    return bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+
+def _cpu_scenario():
+    """The CPU-bound batch: bank-query variants (fresh searches dominate)."""
+    if _smoke():
+        return bank_multi_query_scenario(8, employees=5, offices=3, states=4)
+    return bank_multi_query_scenario(8, employees=6, offices=3, states=4)
+
+
+def _run_server(scenario, workers: int):
+    mediator = scenario.mediator()
+    metrics = RuntimeMetrics()
+    with QueryServer(mediator, search_workers=workers, metrics=metrics) as server:
+        started = time.perf_counter()
+        result = server.answer(scenario.queries)
+        wall = time.perf_counter() - started
+    accesses = sorted(
+        (access.method.name, access.binding) for access, _n in mediator.access_log
+    )
+    return result, accesses, wall, metrics
+
+
+@pytest.mark.experiment("SERVER-batch-sharing")
+def test_server_guided_batch_vs_individual_runs(benchmark):
+    """One server answering the batch vs. N independent guided runs."""
+    scenario = multi_query_scenario(8, 6, 2, atoms_per_query=3, seed=3)
+    singles = [
+        relevance_guided_strategy(scenario.mediator(), query)
+        for query in scenario.queries
+    ]
+    individual_accesses = sum(result.accesses_made for result in singles)
+
+    def run():
+        with QueryServer(scenario.mediator()) as server:
+            return server.answer(scenario.queries)
+
+    result = benchmark(run)
+    assert list(result.boolean_answers) == [
+        single.boolean_answer for single in singles
+    ]
+    assert result.accesses_made < individual_accesses
+    benchmark.extra_info.update(
+        {
+            "batch_accesses": result.accesses_made,
+            "individual_accesses": individual_accesses,
+        }
+    )
+
+
+@pytest.mark.experiment("SERVER-guided-cpu-bound")
+def test_server_guided_cpu_bound_batch(benchmark):
+    """The gated headline number: single-process server on the CPU-bound batch."""
+    scenario = _cpu_scenario()
+
+    def run():
+        result, _accesses, _wall, metrics = _run_server(scenario, 1)
+        return result, metrics
+
+    # Three rounds, not one: this benchmark feeds the 25% regression gate
+    # through its ``min``, and a single noisy sample on a shared CI runner
+    # must not be able to fail the job.
+    result, metrics = benchmark.pedantic(run, rounds=3, iterations=1)
+    counters = metrics.snapshot()["counters"]
+    # The batch is genuinely search-bound: every query resolved, fresh
+    # searches dominate the profile.
+    assert counters.get("oracle.fresh_searches", 0) > 0
+    assert result.outcomes[0].boolean_answer  # the motivating combination
+    benchmark.extra_info.update(
+        {
+            "fresh_searches": counters.get("oracle.fresh_searches", 0),
+            "accesses": result.accesses_made,
+        }
+    )
+
+
+@pytest.mark.experiment("SERVER-procpool-speedup")
+def test_process_pool_speedup_and_equivalence():
+    """Acceptance gate: ``search_workers=4`` vs. single-process on the
+    CPU-bound batch — identical answers and access sets always; ≥ 2× faster
+    on a full-size run with the cores to parallelise on.
+
+    The wall-clock assertion is deliberately *not* enforced in smoke mode:
+    the CI smoke job runs on shared runners where a noisy neighbour during
+    the ~1 s pooled run could fail the job with no code change.  Smoke runs
+    still assert the equivalence properties and that the pool actually ran
+    searches; the speedup itself is reported either way.
+    """
+    scenario = _cpu_scenario()
+    single, single_accesses, single_wall, single_metrics = _run_server(scenario, 1)
+    pooled, pooled_accesses, pooled_wall, pooled_metrics = _run_server(scenario, 4)
+
+    assert pooled.answers == single.answers
+    assert pooled_accesses == single_accesses
+    assert pooled_metrics.snapshot()["counters"].get("oracle.pool_searches", 0) > 0
+    # The workload is genuinely the CPU-bound regime the gate is about:
+    # fresh search time dominates the single-process wall-clock.
+    fresh = single_metrics.snapshot()["timers"].get("oracle.long_term", 0.0)
+    assert fresh >= 0.5 * single_wall, (
+        f"batch not search-bound: {fresh:.3f}s of {single_wall:.3f}s"
+    )
+
+    cpus = os.cpu_count() or 1
+    speedup = single_wall / pooled_wall
+    print(
+        f"\nsearch_workers=4 speedup: {speedup:.2f}x "
+        f"({single_wall * 1000:.0f}ms -> {pooled_wall * 1000:.0f}ms, {cpus} CPUs)"
+    )
+    if cpus >= 4 and not _smoke():
+        assert speedup >= 2.0, (
+            f"4-worker server only {speedup:.2f}x faster "
+            f"({single_wall * 1000:.0f}ms -> {pooled_wall * 1000:.0f}ms) "
+            f"on {cpus} CPUs"
+        )
+
+
+@pytest.mark.experiment("SERVER-warm-restart")
+def test_persistent_cache_warm_restart(benchmark, tmp_path):
+    """Warm restart: revalidations fire, fresh searches strictly drop."""
+    scenario = _cpu_scenario()
+    path = os.fspath(tmp_path / "witness.jsonl")
+
+    cold_metrics = RuntimeMetrics()
+    with QueryServer(
+        scenario.mediator(), cache_path=path, metrics=cold_metrics
+    ) as cold_server:
+        cold = cold_server.answer(scenario.queries)
+    cold_counters = cold_metrics.snapshot()["counters"]
+    assert cold_counters.get("persist.recorded", 0) > 0
+
+    def warm_run():
+        metrics = RuntimeMetrics()
+        with QueryServer(
+            scenario.mediator(), cache_path=path, metrics=metrics
+        ) as warm_server:
+            result = warm_server.answer(scenario.queries)
+        return result, metrics
+
+    warm, warm_metrics = benchmark.pedantic(warm_run, rounds=3, iterations=1)
+    warm_counters = warm_metrics.snapshot()["counters"]
+    assert warm.answers == cold.answers
+    assert warm_counters.get("witness.revalidated", 0) > 0
+    assert warm_counters.get("oracle.fresh_searches", 0) < cold_counters.get(
+        "oracle.fresh_searches", 0
+    )
+    benchmark.extra_info.update(
+        {
+            "cold_fresh_searches": cold_counters.get("oracle.fresh_searches", 0),
+            "warm_fresh_searches": warm_counters.get("oracle.fresh_searches", 0),
+            "warm_revalidated": warm_counters.get("witness.revalidated", 0),
+        }
+    )

@@ -3,16 +3,17 @@
 Usage::
 
     python benchmarks/compare_bench.py BENCH_baseline.json BENCH_pr.json \
-        [--threshold 0.25] [--gate guided]
+        [--threshold 0.25] [--gate guided,server]
 
 Benchmarks are matched by ``fullname``.  Every matched pair is reported with
 its best-time (``min``) ratio — ``min`` is far less noise-sensitive than
-``mean`` for a gate.  Pairs whose name contains a *gate* substring (default:
-``guided``, the relevance-guided strategy — the headline number of this
-repository) are enforced: a gated benchmark slower than ``baseline * (1 +
-threshold)`` fails the comparison with exit status 1.  Ungated regressions
-and benchmarks present on only one side are reported but do not fail, since
-machine noise and newly added benchmarks should not block a PR.
+``mean`` for a gate.  Pairs whose name contains any *gate* substring
+(comma-separated; default ``guided,server`` — the relevance-guided strategy
+and the multi-query server, the headline numbers of this repository) are
+enforced: a gated benchmark slower than ``baseline * (1 + threshold)`` fails
+the comparison with exit status 1.  Ungated regressions and benchmarks
+present on only one side are reported but do not fail, since machine noise
+and newly added benchmarks should not block a PR.
 
 The baseline is regenerated with the same command the CI smoke job runs
 (``REPRO_BENCH_SMOKE=1``), so numbers are comparable like for like.  Caveat:
@@ -54,7 +55,8 @@ def compare(
     threshold: float,
     gate: str,
 ) -> Tuple[bool, str]:
-    """Return (ok, report)."""
+    """Return (ok, report).  ``gate`` is a comma-separated substring list."""
+    gates = [part.strip() for part in gate.split(",") if part.strip()]
     lines = []
     ok = True
     shared = sorted(set(baseline) & set(current))
@@ -62,7 +64,7 @@ def compare(
         base = baseline[name]
         now = current[name]
         ratio = now / base if base > 0 else float("inf")
-        gated = gate in name
+        gated = any(part in name for part in gates)
         status = "ok"
         if ratio > 1.0 + threshold:
             status = "REGRESSION" if gated else "slower (ungated)"
@@ -78,7 +80,9 @@ def compare(
         lines.append(f"{'missing':>18}  {'':>8}  {'':>10}  {name}")
     if not shared:
         lines.append("no shared benchmarks between baseline and current run")
-    gated_shared = [name for name in shared if gate in name]
+    gated_shared = [
+        name for name in shared if any(part in name for part in gates)
+    ]
     if not gated_shared:
         lines.append(
             f"warning: no shared benchmark matches gate {gate!r}; nothing enforced"
@@ -98,8 +102,11 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--gate",
-        default="guided",
-        help="substring selecting the enforced benchmarks (default: guided)",
+        default="guided,server",
+        help=(
+            "comma-separated substrings selecting the enforced benchmarks "
+            "(default: guided,server)"
+        ),
     )
     args = parser.parse_args(argv)
     ok, report = compare(

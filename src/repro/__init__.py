@@ -63,8 +63,14 @@ from repro.queries import (
 )
 from repro.runtime import (
     AccessExecutor,
+    MultiQueryMediator,
+    PersistentWitnessCache,
+    ProcessRelevancePool,
+    QueryOutcome,
+    QueryServer,
     RelevanceOracle,
     RuntimeMetrics,
+    ServerResult,
     SharedVerdictStore,
 )
 from repro.schema import (
@@ -126,8 +132,14 @@ __all__ = [
     "ltr_to_containment",
     # runtime
     "AccessExecutor",
+    "MultiQueryMediator",
+    "PersistentWitnessCache",
+    "ProcessRelevancePool",
+    "QueryOutcome",
+    "QueryServer",
     "RelevanceOracle",
     "RuntimeMetrics",
+    "ServerResult",
     "SharedVerdictStore",
     # exceptions
     "ReproError",

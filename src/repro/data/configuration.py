@@ -93,6 +93,18 @@ class Configuration(Instance):
         size, content = super().fingerprint()
         return (size, content, self._constants_hash)
 
+    def wire_constants(self) -> Tuple[Tuple[object, AbstractDomain], ...]:
+        """The seed constants in deterministic order (the wire format)."""
+        return tuple(sorted(self._constants, key=repr))
+
+    def __reduce__(self):
+        # Extends the compact Instance wire format with the seed constants;
+        # see :meth:`repro.data.instance.Instance.__reduce__`.
+        return (
+            self.__class__,
+            (self.schema, self.wire_facts(), self.wire_constants()),
+        )
+
     def copy(self) -> "Configuration":
         """A deep copy (sharing the schema)."""
         clone = Configuration(self.schema)

@@ -250,6 +250,32 @@ class Instance:
         self._pools_cache = None
 
     # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def wire_facts(self) -> Dict[str, Tuple[Tuple[object, ...], ...]]:
+        """The facts as a compact, deterministically ordered mapping.
+
+        This is the instance's wire format: relation name to sorted tuple of
+        rows, with empty relations omitted.  It is what :meth:`__reduce__`
+        ships across a pickle boundary (the per-place indexes, caches, and
+        fingerprint are rebuilt on the receiving side) and what the stable
+        digests of :mod:`repro.runtime.serialize` hash.
+        """
+        return {
+            name: tuple(sorted(rows, key=repr))
+            for name, rows in self._tuples.items()
+            if rows
+        }
+
+    def __reduce__(self):
+        # Ship schema + facts, not the internal indexes: the constructor
+        # re-derives indexes, caches, and the content fingerprint, so an
+        # unpickled instance is indistinguishable from one built fresh in the
+        # receiving process (in particular its fingerprint uses that
+        # process's string hashing).
+        return (self.__class__, (self._schema, self.wire_facts()))
+
+    # ------------------------------------------------------------------ #
     # Set-like operations
     # ------------------------------------------------------------------ #
     def copy(self) -> "Instance":

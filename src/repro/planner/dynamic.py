@@ -28,9 +28,8 @@ compared head to head in ``benchmarks/bench_dynamic_answering.py``.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
-from typing import Callable, FrozenSet, List, Optional, Tuple
+from typing import FrozenSet, List, Optional, Tuple
 
 from repro.core import ContainmentOptions
 from repro.data import Configuration
@@ -39,11 +38,15 @@ from repro.queries import certain_answers
 from repro.runtime import (
     AccessExecutor,
     CandidateScreen,
+    PersistentWitnessCache,
+    ProcessRelevancePool,
     RelevanceOracle,
     RuntimeMetrics,
     SharedVerdictStore,
 )
-from repro.schema import Access, Schema
+from repro.runtime.executor import candidate_accesses as _candidate_accesses
+from repro.runtime.screening import access_is_relevant, resolve_group_verdict
+from repro.schema import Access
 from repro.sources.service import Mediator
 
 __all__ = ["AnsweringResult", "exhaustive_strategy", "relevance_guided_strategy"]
@@ -64,33 +67,6 @@ class AnsweringResult:
     def boolean_answer(self) -> bool:
         """Boolean reading of the answer set (true iff non-empty)."""
         return bool(self.answers)
-
-
-def _candidate_accesses(
-    schema: Schema,
-    configuration: Configuration,
-    performed_key: Callable[[Tuple[str, Tuple[object, ...]]], bool],
-) -> List[Access]:
-    """Well-formed accesses (dependent bindings from the active domain) not yet made."""
-    candidates: List[Access] = []
-    by_domain = configuration.active_values_by_domain()
-    for method in schema.access_methods:
-        pools: List[Tuple[object, ...]] = []
-        feasible = True
-        for place in method.input_places:
-            domain = method.relation.domain_of(place)
-            values = by_domain.get(domain)
-            if not values:
-                feasible = False
-                break
-            pools.append(values)
-        if not feasible:
-            continue
-        for binding in itertools.product(*pools) if pools else [()]:
-            if performed_key((method.name, binding)):
-                continue
-            candidates.append(Access(method, binding))
-    return candidates
 
 
 def _result(
@@ -165,6 +141,9 @@ def relevance_guided_strategy(
     metrics: Optional[RuntimeMetrics] = None,
     parallelism: int = 1,
     store: Optional[SharedVerdictStore] = None,
+    search_workers: int = 1,
+    pool: Optional[ProcessRelevancePool] = None,
+    cache_path: Optional[str] = None,
 ) -> AnsweringResult:
     """Only perform accesses that are relevant for the query.
 
@@ -196,6 +175,27 @@ def relevance_guided_strategy(
     same responses — though up to ``parallelism`` accesses dispatched before
     certainty is reached may additionally complete.
 
+    Two further knobs address the *CPU-bound* side (``parallelism`` only
+    overlaps source latency; the relevance searches themselves stay under
+    the GIL):
+
+    * ``search_workers > 1`` (or an explicit ``pool``) attaches a
+      :class:`ProcessRelevancePool` — each round's fresh LTR searches run
+      concurrently on worker processes and only the incremental shortcuts
+      (cache hits, delta inheritance, witness revalidation) stay inline.
+      Verdicts are pure functions of the configuration content, so answers
+      and access sets are identical to the single-process run.  A pool built
+      here is closed when the run returns; pass ``pool`` to amortise worker
+      start-up across runs.
+    * ``cache_path`` attaches a :class:`PersistentWitnessCache`: witness
+      paths captured by this run are appended to the file, and paths from
+      earlier runs (even earlier *processes*) are seeded so this run
+      revalidates instead of searching fresh.
+
+    Both knobs configure the run's own oracle; with a pre-built ``oracle``
+    attach them at its construction instead (supplying both is rejected,
+    like ``options``).
+
     If ``max_rounds`` ends the run before certainty or a no-progress
     fixpoint, the result is flagged ``rounds_exhausted``.
     """
@@ -211,15 +211,30 @@ def relevance_guided_strategy(
             "pass either a pre-built oracle or a SharedVerdictStore, not "
             "both; attach the store when constructing the oracle instead"
         )
+    if oracle is not None and (search_workers > 1 or pool is not None or cache_path):
+        raise QueryError(
+            "attach the process pool / persistent cache when constructing "
+            "the RelevanceOracle; a pre-built oracle keeps its own"
+        )
     schema = mediator.schema
     boolean_query = query if query.is_boolean else query.boolean_closure()
+    own_pool: Optional[ProcessRelevancePool] = None
     if oracle is None:
         # The run's private oracle needs no shards: all oracle calls stay on
         # this (the dispatching) thread.  Sharding pays on the genuinely
         # shared surfaces — the attached store, or a caller-built oracle
         # probed from several answering threads.
+        if pool is None and search_workers > 1:
+            own_pool = pool = ProcessRelevancePool(search_workers)
+        persist = PersistentWitnessCache(cache_path) if cache_path else None
         oracle = RelevanceOracle(
-            query, schema, options=options, metrics=metrics, store=store
+            query,
+            schema,
+            options=options,
+            metrics=metrics,
+            store=store,
+            pool=pool,
+            persist=persist,
         )
     elif oracle.query != boolean_query:
         raise QueryError(
@@ -254,77 +269,67 @@ def relevance_guided_strategy(
         return query.is_boolean and oracle.is_certain(configuration)
 
     def should_perform(access: Access, configuration: Configuration) -> bool:
-        if use_long_term and not oracle.long_term_relevant(access, configuration):
-            return False
-        if use_immediate and not oracle.immediately_relevant(access, configuration):
-            return False
-        return True
-
-    exhausted = False
-    for _round in range(max_rounds):
-        executor.metrics.incr("strategy.rounds")
-        configuration = mediator.configuration_view
-        if done(configuration):
-            break
-        candidates = _candidate_accesses(
-            schema, configuration, executor.has_performed_key
+        return access_is_relevant(
+            oracle,
+            access,
+            configuration,
+            use_long_term=use_long_term,
+            use_immediate=use_immediate,
         )
-        if prefilter_ltr:
-            candidates = screen.prefilter(candidates)
-        elif use_immediate and not use_long_term:
-            candidates = screen.prefilter(candidates, immediate_only=True)
 
-        relevant: List[Access] = []
-        for representative, members in screen.group(candidates, configuration):
-            relevance_checks += 1
-            ltr_verdict = (
-                oracle.long_term_relevant(representative, configuration)
-                if use_long_term
-                else True
+    def _guided_rounds() -> bool:
+        """Run the answering rounds; returns the rounds-exhausted flag."""
+        nonlocal relevance_checks
+        for _round in range(max_rounds):
+            executor.metrics.incr("strategy.rounds")
+            configuration = mediator.configuration_view
+            if done(configuration):
+                return False
+            candidates = _candidate_accesses(
+                schema, configuration, executor.has_performed_key
             )
-            ir_verdict = (
-                oracle.immediately_relevant(representative, configuration)
-                if use_immediate
-                else True
-            )
-            if members:
-                witness = (
-                    oracle.witness_for(representative)
-                    if use_long_term and ltr_verdict
-                    else None
+            if prefilter_ltr:
+                candidates = screen.prefilter(candidates)
+            elif use_immediate and not use_long_term:
+                candidates = screen.prefilter(candidates, immediate_only=True)
+
+            groups = screen.group(candidates, configuration)
+            if use_long_term:
+                # With a process pool attached the round's fresh LTR
+                # searches run concurrently on the workers; the loop below
+                # then hits the warmed cache.  Without a pool this is a
+                # no-op and every verdict resolves inline as before.
+                oracle.prefetch_long_term(
+                    [representative for representative, _members in groups],
+                    configuration,
                 )
-                for member, mapping in members:
-                    if use_long_term:
-                        oracle.adopt_long_term_verdict(
-                            member,
-                            configuration,
-                            ltr_verdict,
-                            witness=(
-                                witness.translated(mapping) if witness else None
-                            ),
-                        )
-                    if use_immediate:
-                        oracle.adopt_immediate_verdict(
-                            member, configuration, ir_verdict
-                        )
-            if ltr_verdict and ir_verdict:
-                relevant.append(representative)
-                relevant.extend(member for member, _mapping in members)
+            relevant: List[Access] = []
+            for representative, members in groups:
+                relevance_checks += 1
+                if resolve_group_verdict(
+                    oracle,
+                    representative,
+                    members,
+                    configuration,
+                    use_long_term=use_long_term,
+                    use_immediate=use_immediate,
+                ):
+                    relevant.append(representative)
+                    relevant.extend(member for member, _mapping in members)
 
-        def precheck(access: Access) -> bool:
-            nonlocal relevance_checks
-            relevance_checks += 1
-            return should_perform(access, mediator.configuration_view)
+            def precheck(access: Access) -> bool:
+                nonlocal relevance_checks
+                relevance_checks += 1
+                return should_perform(access, mediator.configuration_view)
 
-        batch = executor.execute_batch(
-            relevant,
-            precheck=precheck,
-            stop=lambda: done(mediator.configuration_view),
-            max_concurrency=parallelism,
-        )
-        if not batch.progressed or done(mediator.configuration_view):
-            break
-    else:
+            batch = executor.execute_batch(
+                relevant,
+                precheck=precheck,
+                stop=lambda: done(mediator.configuration_view),
+                max_concurrency=parallelism,
+            )
+            if not batch.progressed or done(mediator.configuration_view):
+                return False
         # Every allowed round progressed without reaching certainty (or, for
         # non-Boolean queries, a fixpoint): the answer may be incomplete.
         # Certainty reached exactly at the budget's edge, or no candidate
@@ -332,8 +337,15 @@ def relevance_guided_strategy(
         if not done(mediator.configuration_view) and _candidate_accesses(
             schema, mediator.configuration_view, executor.has_performed_key
         ):
-            exhausted = True
             executor.metrics.incr("strategy.rounds_exhausted")
+            return True
+        return False
+
+    try:
+        exhausted = _guided_rounds()
+    finally:
+        if own_pool is not None:
+            own_pool.close()
 
     return _result(
         mediator,

@@ -6,7 +6,14 @@ from dataclasses import dataclass
 from typing import Dict, Mapping, Tuple
 
 from repro.exceptions import QueryError
-from repro.queries.terms import Term, Variable, constants_in, is_variable, variables_in
+from repro.queries.terms import (
+    Term,
+    Variable,
+    canonical_term,
+    constants_in,
+    is_variable,
+    variables_in,
+)
 from repro.schema import AbstractDomain, Relation
 
 __all__ = ["Atom"]
@@ -89,6 +96,10 @@ class Atom:
     def is_ground(self) -> bool:
         """Whether the atom contains no variable."""
         return not any(is_variable(term) for term in self.terms)
+
+    def canonical_form(self) -> Tuple[object, ...]:
+        """A process-stable structural encoding (relation name + terms)."""
+        return (self.relation.name, tuple(canonical_term(term) for term in self.terms))
 
     def rename(self, renaming: Mapping[Variable, Variable]) -> "Atom":
         """Rename variables according to ``renaming`` (missing keys unchanged)."""

@@ -239,6 +239,21 @@ class ConjunctiveQuery:
         """The Boolean query obtained by dropping all free variables."""
         return ConjunctiveQuery(self.atoms, (), self.name)
 
+    def canonical_form(self) -> Tuple[object, ...]:
+        """A process-stable structural encoding of the query.
+
+        Two queries compare equal exactly when their canonical forms are
+        equal (the ``name`` is excluded, matching ``compare=False``), and the
+        encoding contains only strings and tuples — so hashing it with a
+        cryptographic digest gives the same token in every process, which is
+        what the persistent witness cache keys on.
+        """
+        return (
+            "cq",
+            tuple(atom.canonical_form() for atom in self.atoms),
+            tuple(variable.name for variable in self.free_variables),
+        )
+
     # ------------------------------------------------------------------ #
     # Canonical instance (freezing)
     # ------------------------------------------------------------------ #

@@ -38,6 +38,10 @@ class PQNode:
         """Disjunctive normal form: a tuple of conjunctions of atoms."""
         raise NotImplementedError
 
+    def canonical_form(self) -> Tuple[object, ...]:
+        """A process-stable structural encoding of the subtree."""
+        raise NotImplementedError
+
     def size(self) -> int:
         """Number of atoms in the subtree (with multiplicity)."""
         return len(self.atoms())
@@ -57,6 +61,9 @@ class AtomNode(PQNode):
 
     def dnf(self) -> Tuple[Tuple[Atom, ...], ...]:
         return ((self.atom,),)
+
+    def canonical_form(self) -> Tuple[object, ...]:
+        return ("atom", self.atom.canonical_form())
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return repr(self.atom)
@@ -91,6 +98,9 @@ class AndNode(PQNode):
             conjunctions.append(tuple(merged))
         return tuple(conjunctions)
 
+    def canonical_form(self) -> Tuple[object, ...]:
+        return ("and", tuple(child.canonical_form() for child in self.children))
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "(" + " & ".join(repr(child) for child in self.children) + ")"
 
@@ -119,6 +129,9 @@ class OrNode(PQNode):
         for child in self.children:
             conjunctions.extend(child.dnf())
         return tuple(conjunctions)
+
+    def canonical_form(self) -> Tuple[object, ...]:
+        return ("or", tuple(child.canonical_form() for child in self.children))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "(" + " | ".join(repr(child) for child in self.children) + ")"
@@ -295,6 +308,14 @@ class PositiveQuery:
     def boolean_closure(self) -> "PositiveQuery":
         """The Boolean query obtained by dropping all free variables."""
         return PositiveQuery(self.root, (), self.name)
+
+    def canonical_form(self) -> Tuple[object, ...]:
+        """A process-stable structural encoding (see the CQ counterpart)."""
+        return (
+            "pq",
+            self.root.canonical_form(),
+            tuple(variable.name for variable in self.free_variables),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         head = (

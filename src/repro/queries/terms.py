@@ -12,7 +12,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Tuple, Union
 
-__all__ = ["Variable", "Term", "is_variable", "variables_in", "constants_in", "split_bound_free"]
+__all__ = [
+    "Variable",
+    "Term",
+    "canonical_term",
+    "is_variable",
+    "variables_in",
+    "constants_in",
+    "split_bound_free",
+]
 
 
 @dataclass(frozen=True)
@@ -31,6 +39,19 @@ Term = Union[Variable, object]
 def is_variable(term: Term) -> bool:
     """Whether ``term`` is a :class:`Variable` (anything else is a constant)."""
     return isinstance(term, Variable)
+
+
+def canonical_term(term: Term) -> Tuple[str, str]:
+    """A process-stable structural encoding of one term.
+
+    Variables and constants are tagged apart, and constants are rendered
+    through ``repr`` so the encoding never depends on per-process hashing.
+    Used by the stable query digests of :mod:`repro.runtime.serialize` (the
+    keys of the persistent witness cache).
+    """
+    if isinstance(term, Variable):
+        return ("var", term.name)
+    return ("const", repr(term))
 
 
 def variables_in(terms: Iterable[Term]) -> Tuple[Variable, ...]:

@@ -20,14 +20,28 @@ needs around the paper's decision procedures:
 * :mod:`~repro.runtime.shards` — lock-protected and sharded LRU caches plus
   the :class:`~repro.runtime.shards.SharedVerdictStore` that pools LTR
   history and witnesses across oracles for one (query, schema);
-* :class:`~repro.runtime.metrics.RuntimeMetrics` — thread-safe counters and
-  timers the other components record into.
+* :class:`~repro.runtime.procpool.ProcessRelevancePool` — ships CPU-bound
+  LTR/certainty searches to worker processes (the thread pool above only
+  overlaps latency; the GIL serializes the searches themselves);
+* :class:`~repro.runtime.persist.PersistentWitnessCache` — witness paths on
+  disk, so a warm restart revalidates instead of searching fresh;
+* :mod:`~repro.runtime.serialize` — the wire formats and process-stable
+  digests both of the above are built on;
+* :class:`~repro.runtime.server.QueryServer` — the multi-query answering
+  runtime: a batch of Boolean queries over one shared configuration, every
+  performed access advancing every query's strategy;
+* :class:`~repro.runtime.metrics.RuntimeMetrics` — thread-safe counters,
+  timers (with call counts), and cache gauges the other components record
+  into.
 """
 
 from repro.runtime.cache import LRUCache, RelevanceOracle, access_key
 from repro.runtime.executor import AccessExecutor, BatchResult
 from repro.runtime.metrics import RuntimeMetrics
+from repro.runtime.persist import PersistentWitnessCache
+from repro.runtime.procpool import ProcessRelevancePool, default_search_workers
 from repro.runtime.screening import CandidateScreen, relevant_relation_closure
+from repro.runtime.server import MultiQueryMediator, QueryOutcome, QueryServer, ServerResult
 from repro.runtime.shards import ShardedLRUCache, SharedVerdictStore
 from repro.runtime.witness import (
     ConfigurationSnapshot,
@@ -42,11 +56,18 @@ __all__ = [
     "ConfigurationSnapshot",
     "LRUCache",
     "LtrWitness",
+    "MultiQueryMediator",
+    "PersistentWitnessCache",
+    "ProcessRelevancePool",
+    "QueryOutcome",
+    "QueryServer",
     "RelevanceOracle",
     "RuntimeMetrics",
+    "ServerResult",
     "ShardedLRUCache",
     "SharedVerdictStore",
     "access_key",
+    "default_search_workers",
     "dependent_input_domains",
     "relevant_relation_closure",
 ]

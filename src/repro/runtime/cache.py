@@ -25,6 +25,17 @@ search: long-term relevance goes through the incremental engine of
 Entries are evicted least-recently-used beyond ``max_entries`` so a
 long-running mediator cannot grow the cache without bound.
 
+Two optional attachments extend the oracle beyond one process:
+
+* a :class:`~repro.runtime.procpool.ProcessRelevancePool` (``pool=``) lets a
+  caller *prefetch* a batch of LTR verdicts on worker processes
+  (:meth:`RelevanceOracle.prefetch_long_term`): the misses that would
+  otherwise each run a fresh CPU-bound search on this thread are searched
+  concurrently, their verdicts and witness paths merged back into the cache;
+* a :class:`~repro.runtime.persist.PersistentWitnessCache` (``persist=``)
+  seeds stored witness paths at construction — a warm restart revalidates
+  instead of searching — and records every newly captured path.
+
 Concurrency: every cache the oracle reads or writes is an
 :class:`~repro.runtime.shards.LRUCache` (lock-protected) or a
 :class:`~repro.runtime.shards.ShardedLRUCache` (per-shard locks keyed by
@@ -41,7 +52,7 @@ needed.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 from repro.core import (
     ContainmentOptions,
@@ -59,6 +70,10 @@ from repro.runtime.witness import (
     dependent_input_domains,
 )
 from repro.schema import Access, Schema
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.persist import PersistentWitnessCache
+    from repro.runtime.procpool import ProcessRelevancePool
 
 __all__ = ["LRUCache", "RelevanceOracle", "access_key"]
 
@@ -106,12 +121,16 @@ class RelevanceOracle:
         incremental: bool = True,
         n_shards: int = 1,
         store: Optional[SharedVerdictStore] = None,
+        pool: Optional["ProcessRelevancePool"] = None,
+        persist: Optional["PersistentWitnessCache"] = None,
     ) -> None:
         self._query = query if query.is_boolean else query.boolean_closure()
         self._schema = schema
         self._options = options
         self._ltr_method = ltr_method
         self._metrics = metrics if metrics is not None else RuntimeMetrics()
+        self._pool = pool
+        self._persist = persist
         self._cache: Union[LRUCache, ShardedLRUCache] = (
             ShardedLRUCache(max_entries, n_shards=n_shards)
             if n_shards > 1
@@ -136,6 +155,13 @@ class RelevanceOracle:
             self._ltr_history = LRUCache(max_entries)
         self._query_relations = frozenset(self._query.relation_names())
         self._unsafe_domains = dependent_input_domains(schema)
+        self._metrics.register_cache("oracle.cache", self._cache)
+        self._metrics.register_cache("oracle.witnesses", self._witnesses)
+        self._metrics.register_cache("oracle.ltr_history", self._ltr_history)
+        if persist is not None and incremental:
+            seeded = persist.seed(self._witnesses, self._query, schema)
+            if seeded:
+                self._metrics.incr("persist.seeded", seeded)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -159,6 +185,16 @@ class RelevanceOracle:
     def ltr_method(self) -> str:
         """The long-term relevance procedure the oracle dispatches to."""
         return self._ltr_method
+
+    @property
+    def pool(self) -> Optional["ProcessRelevancePool"]:
+        """The attached process pool, if any."""
+        return self._pool
+
+    @property
+    def persist(self) -> Optional["PersistentWitnessCache"]:
+        """The attached persistent witness cache, if any."""
+        return self._persist
 
     @property
     def cache_hits(self) -> int:
@@ -249,6 +285,7 @@ class RelevanceOracle:
                 # never soundness.)
                 self._witnesses.discard(akey)
 
+        self._metrics.incr("oracle.fresh_searches")
         with self._metrics.timer("oracle.long_term"):
             verdict, steps = long_term_relevance_with_witness(
                 self._query,
@@ -259,7 +296,7 @@ class RelevanceOracle:
                 options=self._options,
             )
         witness = LtrWitness(tuple(steps)) if steps else None
-        self._record_ltr(akey, key, verdict, configuration, witness=witness)
+        self._record_ltr(akey, key, verdict, configuration, witness=witness, access=access)
         return verdict
 
     def _record_ltr(
@@ -270,6 +307,7 @@ class RelevanceOracle:
         configuration: Configuration,
         *,
         witness: Optional[LtrWitness],
+        access: Optional[Access] = None,
     ) -> None:
         self._cache.put(key, verdict)
         if not self._incremental:
@@ -282,10 +320,114 @@ class RelevanceOracle:
         )
         if witness is not None:
             self._witnesses.put(akey, witness)
+            if self._persist is not None and access is not None:
+                if self._persist.record(
+                    self._query, self._schema, access, witness, configuration
+                ):
+                    self._metrics.incr("persist.recorded")
 
     def witness_for(self, access: Access) -> Optional[LtrWitness]:
         """The stored LTR witness for ``access``, if one was captured."""
         return self._witnesses.get(access_key(access))
+
+    # ------------------------------------------------------------------ #
+    # Process-pool prefetching
+    # ------------------------------------------------------------------ #
+    def begin_prefetch_long_term(
+        self, accesses: Sequence[Access], configuration: Configuration
+    ) -> Callable[[], int]:
+        """Start resolving a batch's LTR misses on the process pool.
+
+        Filters ``accesses`` down to those the oracle could only answer by a
+        fresh search — an exact-fingerprint hit, a delta-inheritable history
+        entry, or a stored witness path (revalidated in O(|path|), cheaper
+        than a round-trip to a worker) are all left to the inline resolution
+        of :meth:`long_term_relevant` — and submits one search task per
+        remaining access.
+
+        Returns a *finalizer*: calling it blocks until every submitted search
+        completed, merges the verdicts (and re-anchored witness paths) into
+        the cache, and returns the number of pooled searches.  The split lets
+        a multi-query caller submit all queries' batches before collecting
+        any, so searches of different queries overlap across workers.
+
+        With no pool attached (or nothing to search) the finalizer is a
+        no-op returning 0, so callers need no conditional.
+        """
+        if self._pool is None or not accesses:
+            return lambda: 0
+        fingerprint = configuration.fingerprint()
+        pending: List[Access] = []
+        seen = set()
+        for access in accesses:
+            akey = access_key(access)
+            if akey in seen:
+                continue
+            seen.add(akey)
+            if ("ltr", akey, fingerprint) in self._cache:
+                continue
+            if self._incremental:
+                history = self._ltr_history.get(akey)
+                if history is not None and history.snapshot.delta_safe(
+                    configuration, self._unsafe_domains
+                ):
+                    continue
+                if self._witnesses.get(akey) is not None:
+                    continue
+            pending.append(access)
+        if not pending:
+            return lambda: 0
+        # Chunked submission: the configuration payload travels once per
+        # chunk, not once per access (see ProcessRelevancePool.submit_ltr_chunks).
+        chunks = self._pool.submit_ltr_chunks(
+            self._query,
+            self._schema,
+            configuration,
+            pending,
+            ltr_method=self._ltr_method,
+            options=self._options,
+        )
+
+        def finish() -> int:
+            for access, verdict, witness in self._pool.ltr_chunk_results(
+                chunks, self._schema
+            ):
+                akey = access_key(access)
+                self._metrics.incr("oracle.pool_searches")
+                self._metrics.incr("oracle.fresh_searches")
+                self._record_ltr(
+                    akey,
+                    ("ltr", akey, fingerprint),
+                    verdict,
+                    configuration,
+                    witness=witness,
+                    access=access,
+                )
+            return len(pending)
+
+        return finish
+
+    def prefetch_long_term(
+        self, accesses: Sequence[Access], configuration: Configuration
+    ) -> int:
+        """Blocking form of :meth:`begin_prefetch_long_term`."""
+        return self.begin_prefetch_long_term(accesses, configuration)()
+
+    # ------------------------------------------------------------------ #
+    # Externally computed verdicts
+    # ------------------------------------------------------------------ #
+    def cached_certainty(self, configuration: Configuration) -> Optional[bool]:
+        """The memoized certainty at ``configuration``, or ``None`` on a miss.
+
+        Unlike :meth:`is_certain` this never computes; the query server uses
+        it to decide which queries' certainty checks to ship to the pool.
+        """
+        cached = self._cache.get(("certain", configuration.fingerprint()), _MISSING)
+        return None if cached is _MISSING else bool(cached)
+
+    def adopt_certainty(self, configuration: Configuration, verdict: bool) -> None:
+        """Record a certainty verdict computed outside the oracle (pool task)."""
+        self._cache.put(("certain", configuration.fingerprint()), bool(verdict))
 
     def adopt_long_term_verdict(
         self,
@@ -312,6 +454,7 @@ class RelevanceOracle:
             verdict,
             configuration,
             witness=witness,
+            access=access,
         )
 
     def adopt_immediate_verdict(

@@ -21,16 +21,51 @@ strategies would run a provably idle extra round).
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional, Set, Tuple
 
-from repro.data import AccessResponse
+from repro.data import AccessResponse, Configuration
 from repro.runtime.cache import access_key
 from repro.runtime.metrics import RuntimeMetrics
-from repro.schema import Access
+from repro.schema import Access, Schema
 from repro.sources.service import Mediator
 
-__all__ = ["AccessExecutor", "BatchResult"]
+__all__ = ["AccessExecutor", "BatchResult", "candidate_accesses"]
+
+
+def candidate_accesses(
+    schema: Schema,
+    configuration: Configuration,
+    performed_key: Callable[[Tuple[str, Tuple[object, ...]]], bool],
+) -> List[Access]:
+    """Well-formed accesses (dependent bindings from the active domain) not yet made.
+
+    This is the per-round enumeration every answering strategy starts from —
+    the single-query strategies of :mod:`repro.planner.dynamic` and the
+    multi-query rounds of :class:`~repro.runtime.server.QueryServer` (which
+    enumerates once per round and shares the list across all its queries).
+    ``performed_key`` is usually :meth:`AccessExecutor.has_performed_key`.
+    """
+    candidates: List[Access] = []
+    by_domain = configuration.active_values_by_domain()
+    for method in schema.access_methods:
+        pools: List[Tuple[object, ...]] = []
+        feasible = True
+        for place in method.input_places:
+            domain = method.relation.domain_of(place)
+            values = by_domain.get(domain)
+            if not values:
+                feasible = False
+                break
+            pools.append(values)
+        if not feasible:
+            continue
+        for binding in itertools.product(*pools) if pools else [()]:
+            if performed_key((method.name, binding)):
+                continue
+            candidates.append(Access(method, binding))
+    return candidates
 
 
 @dataclass

@@ -1,23 +1,33 @@
-"""Lightweight runtime metrics: counters and wall-clock timers.
+"""Lightweight runtime metrics: counters, wall-clock timers, cache gauges.
 
-The runtime layer (oracle, executor, mediator) records how much work it does
-— accesses performed, facts retrieved, cache hits and misses, time spent in
-relevance procedures — so benchmark runs and production deployments can
-observe the effect of memoization without attaching a profiler.  The
-implementation is deliberately dependency-free: plain dictionaries, explicit
-snapshots, one lock.
+The runtime layer (oracle, executor, mediator, query server) records how much
+work it does — accesses performed, facts retrieved, cache hits and misses,
+time spent in relevance procedures — so benchmark runs and production
+deployments can observe the effect of memoization without attaching a
+profiler.  The implementation is deliberately dependency-free: plain
+dictionaries, explicit snapshots, one lock.
 
 The lock matters because a single metrics sink is shared by every component
 of an answering run, including the worker threads of the parallel executor:
 ``dict.get`` + store is not atomic, so unlocked concurrent ``incr`` calls
 lose counts.  Timers only lock the accumulation, never the timed body, so
-concurrent ``timer`` blocks overlap freely (their durations sum, as before).
+concurrent ``timer`` blocks overlap freely — their durations *sum*, which
+with the parallel runtimes means a summed timer can legitimately exceed
+wall-clock.  To keep that interpretable every timer also counts its calls
+(:meth:`timer_calls`): ``elapsed / calls`` is the mean per-call cost whatever
+the overlap.
+
+Components may additionally :meth:`register_cache` their LRU caches; a
+:meth:`snapshot` then includes each cache's hit/miss gauges — including the
+per-shard breakdown of a :class:`~repro.runtime.shards.ShardedLRUCache`, so
+shard imbalance is visible without poking at internals.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+import weakref
 from contextlib import contextmanager
 from typing import Dict, Iterator
 
@@ -25,11 +35,18 @@ __all__ = ["RuntimeMetrics"]
 
 
 class RuntimeMetrics:
-    """A thread-safe bag of named counters and cumulative timers."""
+    """A thread-safe bag of named counters, cumulative timers, and gauges."""
 
     def __init__(self) -> None:
         self._counters: Dict[str, int] = {}
         self._timers: Dict[str, float] = {}
+        self._timer_calls: Dict[str, int] = {}
+        # name -> weakref to the cache.  Weak on purpose: oracles register
+        # their caches at construction, and a long-lived server constructs
+        # oracles per answer call — a strong registry would pin every dead
+        # oracle's LRU forever.  Dead entries are pruned on registration and
+        # on snapshot.
+        self._caches: Dict[str, "weakref.ref"] = {}
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
@@ -58,28 +75,85 @@ class RuntimeMetrics:
             elapsed = time.perf_counter() - started
             with self._lock:
                 self._timers[name] = self._timers.get(name, 0.0) + elapsed
+                self._timer_calls[name] = self._timer_calls.get(name, 0) + 1
 
     def elapsed(self, name: str) -> float:
         """Cumulative seconds recorded under timer ``name``."""
         with self._lock:
             return self._timers.get(name, 0.0)
 
+    def timer_calls(self, name: str) -> int:
+        """How many ``timer`` blocks completed under ``name``.
+
+        Together with :meth:`elapsed` this keeps overlapped timers readable:
+        parallel runs sum concurrent durations (the total can exceed
+        wall-clock), but ``elapsed / timer_calls`` is always the mean
+        per-call cost.
+        """
+        with self._lock:
+            return self._timer_calls.get(name, 0)
+
+    # ------------------------------------------------------------------ #
+    # Cache gauges
+    # ------------------------------------------------------------------ #
+    def register_cache(self, name: str, cache: object) -> str:
+        """Expose a cache's hit/miss gauges in :meth:`snapshot`.
+
+        ``cache`` must provide a ``stats()`` method (both LRU cache classes
+        in :mod:`repro.runtime.shards` do).  Registering an already-used name
+        uniquifies it (``name#2``, ``name#3``, ...), so several oracles can
+        share one sink — the server does — without clobbering each other's
+        gauges.  Only a weak reference is kept: a cache that dies with its
+        oracle disappears from the snapshot instead of being pinned, and its
+        name becomes reusable.  Registering the *same object* again is
+        idempotent (it keeps its original name) — per-request oracles
+        re-registering a long-lived store's caches must not mint a new name
+        per request.  Returns the name actually registered.
+        """
+        with self._lock:
+            self._prune_dead_caches()
+            for existing, ref in self._caches.items():
+                if ref() is cache:
+                    return existing
+            final = name
+            suffix = 2
+            while final in self._caches:
+                final = f"{name}#{suffix}"
+                suffix += 1
+            self._caches[final] = weakref.ref(cache)
+            return final
+
+    def _prune_dead_caches(self) -> None:
+        """Drop registrations whose cache was garbage-collected (lock held)."""
+        dead = [name for name, ref in self._caches.items() if ref() is None]
+        for name in dead:
+            del self._caches[name]
+
     # ------------------------------------------------------------------ #
     # Reporting
     # ------------------------------------------------------------------ #
     def snapshot(self) -> Dict[str, object]:
-        """A plain-dict snapshot (counters and timers)."""
+        """A plain-dict snapshot (counters, timers, call counts, caches)."""
         with self._lock:
-            return {
+            self._prune_dead_caches()
+            caches = {name: ref() for name, ref in self._caches.items()}
+            snap: Dict[str, object] = {
                 "counters": dict(self._counters),
                 "timers": dict(self._timers),
+                "timer_calls": dict(self._timer_calls),
             }
+        # Cache stats take per-cache locks; collect them outside our own.
+        snap["caches"] = {
+            name: cache.stats() for name, cache in caches.items() if cache is not None
+        }
+        return snap
 
     def reset(self) -> None:
-        """Drop all recorded values."""
+        """Drop all recorded values (registered caches stay registered)."""
         with self._lock:
             self._counters.clear()
             self._timers.clear()
+            self._timer_calls.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"RuntimeMetrics(counters={self._counters!r})"

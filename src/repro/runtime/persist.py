@@ -1,0 +1,239 @@
+"""A persistent (process-surviving) witness cache.
+
+The incremental engine's biggest win — serving a long-term relevance verdict
+by revalidating a stored witness path in O(|path|) — previously died with
+the process: every restart paid the full search cost again before the
+in-memory caches warmed up.  :class:`PersistentWitnessCache` writes captured
+witness paths to an append-only JSONL file and seeds them back into a fresh
+oracle (or :class:`~repro.runtime.shards.SharedVerdictStore`), so a *warm
+restart* revalidates instead of searching.
+
+Design notes:
+
+* **Keying.**  Records are keyed by the process-stable digests of
+  :mod:`repro.runtime.serialize`: ``(query token, schema token, access
+  token)``.  Python's builtin ``hash`` is salted per process, so none of the
+  in-memory cache keys survive a restart — the digests do.  Each record also
+  stamps the :func:`~repro.runtime.serialize.configuration_digest` of the
+  configuration the witness was captured at, for observability (the path is
+  revalidated at the *probe* configuration regardless, so a stale stamp
+  costs nothing but a failed revalidation).
+* **Append-only JSONL.**  One JSON object per line; the last record per key
+  wins on load.  Appends happen under a lock, with an in-memory digest set
+  deduplicating identical paths, so repeated runs do not grow the file
+  unboundedly with copies of one witness.
+* **Soundness.**  A loaded witness is never *trusted*: seeding only hands
+  the path to :meth:`~repro.runtime.witness.LtrWitness.revalidate`, which
+  replays it step by step at the current configuration.  A corrupt, stale,
+  or adversarial record can therefore cost a wasted revalidation, never a
+  wrong verdict; records that no longer decode against the schema are
+  skipped and counted.
+* **Value coverage.**  Only JSON-representable values (strings, numbers,
+  booleans, ``None``, nested tuples) are persisted; a witness containing
+  anything else is skipped and counted under ``skipped_unencodable``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.runtime.serialize import (
+    UnencodableValueError,
+    access_token,
+    configuration_digest,
+    decode_json_steps,
+    decode_json_value,
+    decode_witness_steps,
+    encode_json_steps,
+    encode_json_value,
+    encode_witness_steps,
+    query_token,
+    schema_token,
+    witness_digest,
+)
+from repro.runtime.witness import LtrWitness
+from repro.schema import Access, Schema
+
+__all__ = ["PersistentWitnessCache"]
+
+
+class PersistentWitnessCache:
+    """Witness paths for LTR verdicts, surviving process restarts.
+
+    One cache file may hold records for any number of (query, schema) pairs;
+    loads and seeds are scoped to one pair.  The cache is safe to share
+    across the oracles of one process (appends are lock-protected) and
+    across *sequential* processes (append-only writes; the last record per
+    key wins).  Concurrent writer processes are outside the contract — run
+    one server per cache file.
+    """
+
+    def __init__(self, path: str) -> None:
+        self._path = os.fspath(path)
+        self._lock = threading.Lock()
+        #: (query token, schema token) -> {access token: (access spec, step specs)}
+        self._records: Optional[Dict[Tuple[str, str], Dict[str, Tuple]]] = None
+        #: (query token, schema token) -> decoded {access key: LtrWitness},
+        #: memoized because oracles seed at construction and a server
+        #: constructs oracles per answer call — re-decoding every stored
+        #: record per request would make warm restarts O(records) per query.
+        #: Invalidated whenever a new record lands for the pair.
+        self._decoded: Dict[Tuple[str, str], Dict[Hashable, LtrWitness]] = {}
+        self._appended: set = set()
+        self.stats: Dict[str, int] = {
+            "loaded": 0,
+            "recorded": 0,
+            "seeded": 0,
+            "skipped_unencodable": 0,
+            "skipped_undecodable": 0,
+        }
+
+    @property
+    def path(self) -> str:
+        """The JSONL file backing the cache."""
+        return self._path
+
+    # ------------------------------------------------------------------ #
+    # Loading
+    # ------------------------------------------------------------------ #
+    def _ensure_loaded(self) -> Dict[Tuple[str, str], Dict[str, Tuple]]:
+        with self._lock:
+            if self._records is not None:
+                return self._records
+            records: Dict[Tuple[str, str], Dict[str, Tuple]] = {}
+            if os.path.exists(self._path):
+                with open(self._path, "r", encoding="utf-8") as handle:
+                    for line in handle:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        try:
+                            payload = json.loads(line)
+                            key = (payload["query"], payload["schema"])
+                            spec = (
+                                payload["method"],
+                                tuple(
+                                    decode_json_value(value)
+                                    for value in payload["binding"]
+                                ),
+                            )
+                            steps = decode_json_steps(payload["steps"])
+                        except Exception:
+                            # A truncated tail line (interrupted append) or a
+                            # foreign record: skip it, never fail the load.
+                            self.stats["skipped_undecodable"] += 1
+                            continue
+                        records.setdefault(key, {})[payload["access"]] = (spec, steps)
+                        self._appended.add(
+                            (key, payload["access"], witness_digest(steps))
+                        )
+                        self.stats["loaded"] += 1
+            self._records = records
+            return records
+
+    def witnesses_for(self, query, schema: Schema) -> Dict[Hashable, LtrWitness]:
+        """Decode the stored witnesses for one (query, schema) pair.
+
+        Returns a mapping from the in-memory access key (``(method name,
+        binding)`` — the key the oracle's witness cache uses) to the decoded
+        :class:`LtrWitness`.  Records whose steps no longer decode against
+        ``schema`` are skipped and counted.
+        """
+        records = self._ensure_loaded()
+        key = (query_token(query), schema_token(schema))
+        # Decode under the lock: the class promises safety when shared
+        # across the oracles of one process, and an unlocked memo store
+        # could both lose a concurrent record()'s invalidation and race the
+        # stats counters.  Decoding is modest (it only runs on a memo miss),
+        # so holding the lock for it is fine.
+        with self._lock:
+            cached = self._decoded.get(key)
+            if cached is not None:
+                return cached
+            scoped = records.get(key, {})
+            decoded: Dict[Hashable, LtrWitness] = {}
+            for _atoken, (spec, step_specs) in scoped.items():
+                try:
+                    steps = decode_witness_steps(step_specs, schema)
+                except Exception:
+                    self.stats["skipped_undecodable"] += 1
+                    continue
+                method_name, binding = spec
+                decoded[(method_name, tuple(binding))] = LtrWitness(steps)
+            # The decoded accesses reference *a* schema's method objects;
+            # any equal schema works with them (all comparisons are by
+            # value), so the memo is keyed by the structural tokens, not
+            # object identity.
+            self._decoded[key] = decoded
+            return decoded
+
+    def seed(self, witness_cache, query, schema: Schema) -> int:
+        """Copy stored witnesses into an in-memory witness cache.
+
+        Only keys the cache does not already hold are written (a live
+        witness captured this run is fresher than a persisted one).  Returns
+        the number of seeded entries.
+        """
+        seeded = 0
+        for akey, witness in self.witnesses_for(query, schema).items():
+            if akey not in witness_cache:
+                witness_cache.put(akey, witness)
+                seeded += 1
+        with self._lock:
+            self.stats["seeded"] += seeded
+        return seeded
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def record(
+        self,
+        query,
+        schema: Schema,
+        access: Access,
+        witness: LtrWitness,
+        configuration=None,
+    ) -> bool:
+        """Append one captured witness path (deduplicated); True if written."""
+        self._ensure_loaded()
+        step_specs = encode_witness_steps(witness.steps)
+        try:
+            json_steps = encode_json_steps(step_specs)
+            binding = [encode_json_value(value) for value in access.binding]
+        except UnencodableValueError:
+            with self._lock:
+                self.stats["skipped_unencodable"] += 1
+            return False
+        key = (query_token(query), schema_token(schema))
+        atoken = access_token(access)
+        dedup = (key, atoken, witness_digest(step_specs))
+        with self._lock:
+            if dedup in self._appended:
+                return False
+            payload = {
+                "query": key[0],
+                "schema": key[1],
+                "access": atoken,
+                "method": access.method.name,
+                "binding": binding,
+                "steps": json_steps,
+            }
+            if configuration is not None:
+                payload["fingerprint"] = configuration_digest(configuration)
+            with open(self._path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(payload, sort_keys=True) + "\n")
+            self._appended.add(dedup)
+            assert self._records is not None
+            self._records.setdefault(key, {})[atoken] = (
+                (access.method.name, tuple(access.binding)),
+                step_specs,
+            )
+            self._decoded.pop(key, None)
+            self.stats["recorded"] += 1
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PersistentWitnessCache({self._path!r}, stats={self.stats})"

@@ -31,7 +31,83 @@ from repro.data import Configuration
 from repro.runtime.metrics import RuntimeMetrics
 from repro.schema import Access, Schema
 
-__all__ = ["CandidateScreen", "relevant_relation_closure"]
+__all__ = [
+    "CandidateScreen",
+    "access_is_relevant",
+    "relevant_relation_closure",
+    "resolve_group_verdict",
+]
+
+
+def access_is_relevant(
+    oracle,
+    access: Access,
+    configuration: Configuration,
+    *,
+    use_long_term: bool,
+    use_immediate: bool,
+) -> bool:
+    """Whether ``access`` passes the enabled relevance notions right now.
+
+    The shared dispatch-time re-check of the single-query strategy's
+    ``precheck`` and the query server's per-owner precheck: both must apply
+    exactly the same policy, or a pooled/multi-query run could perform a
+    different access set than the sequential one.
+    """
+    if use_long_term and not oracle.long_term_relevant(access, configuration):
+        return False
+    if use_immediate and not oracle.immediately_relevant(access, configuration):
+        return False
+    return True
+
+
+def resolve_group_verdict(
+    oracle,
+    representative: Access,
+    members: Sequence[Tuple[Access, Dict[object, object]]],
+    configuration: Configuration,
+    *,
+    use_long_term: bool,
+    use_immediate: bool,
+) -> bool:
+    """Resolve one screening group's verdicts through ``oracle``.
+
+    Decides the representative (long-term and/or immediate relevance), has
+    every member adopt the verdicts — positively together with the
+    representative's witness translated through the member's automorphism
+    mapping, so later rounds revalidate instead of searching — and returns
+    whether the group's accesses are relevant.  This is the one copy of the
+    group-adoption semantics; the single-query strategy and the query server
+    both call it (they previously each had their own, which is exactly how
+    adoption fixes would silently diverge).
+    """
+    ltr_verdict = (
+        oracle.long_term_relevant(representative, configuration)
+        if use_long_term
+        else True
+    )
+    ir_verdict = (
+        oracle.immediately_relevant(representative, configuration)
+        if use_immediate
+        else True
+    )
+    if members:
+        witness = (
+            oracle.witness_for(representative)
+            if use_long_term and ltr_verdict
+            else None
+        )
+        for member, mapping in members:
+            if use_long_term:
+                oracle.adopt_long_term_verdict(
+                    member,
+                    configuration,
+                    ltr_verdict,
+                    witness=(witness.translated(mapping) if witness else None),
+                )
+            if use_immediate:
+                oracle.adopt_immediate_verdict(member, configuration, ir_verdict)
+    return ltr_verdict and ir_verdict
 
 
 def relevant_relation_closure(query, schema: Schema) -> FrozenSet[str]:

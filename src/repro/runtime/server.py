@@ -1,0 +1,562 @@
+"""The multi-query answering server.
+
+Everything below :mod:`repro.planner.dynamic` answers *one* query per run: a
+private oracle, a private screen, rounds that stop at that query's certainty.
+A traffic-serving mediator is asked many queries about the *same* sources at
+once, and the single-query loop wastes the two things the queries could
+share:
+
+* **the configuration** — an access performed for one query grows the one
+  configuration every other query reads, so a fact retrieved once should
+  advance every query's strategy (and an access wanted by three queries
+  should be performed exactly once);
+* **the CPU** — each query's relevance searches are independent, and with a
+  :class:`~repro.runtime.procpool.ProcessRelevancePool` they run *in
+  parallel across queries* instead of sequentially under the GIL.
+
+:class:`QueryServer` (alias :class:`MultiQueryMediator`) is that runtime.  It
+owns one :class:`~repro.sources.service.Mediator` and, per distinct Boolean
+query, a :class:`~repro.runtime.shards.SharedVerdictStore` kept in a registry
+— so repeated :meth:`~QueryServer.answer` calls (the "requests" of the
+server) inherit every earlier call's LTR history and witness paths.  With a
+``cache_path`` the stores additionally warm up from a
+:class:`~repro.runtime.persist.PersistentWitnessCache`, surviving process
+restarts.
+
+A :meth:`~QueryServer.answer` call schedules **shared rounds**:
+
+1. resolve certainty for every still-open query (pooled across queries when
+   a process pool is attached) and retire the certain ones;
+2. enumerate the round's candidate accesses *once* against the shared
+   configuration;
+3. per query: prefilter by its relevant-relation closure, group bindings by
+   configuration automorphism, and resolve the representatives' LTR verdicts
+   — submitting every query's fresh searches to the pool *before* collecting
+   any, so the searches overlap across workers;
+4. union the relevant accesses of all queries (deduplicated), execute them
+   as one batch through a shared :class:`~repro.runtime.executor.AccessExecutor`
+   (``parallelism`` overlaps source latency), re-checking each access at
+   dispatch time against the queries that wanted it;
+5. stop early once every query is certain; otherwise loop until a round
+   makes no progress.
+
+Verdicts are pure functions of configuration content, so the scheduling is
+deterministic: a server with ``search_workers=4`` returns the same answers
+and performs the same access set as one with ``search_workers=1`` — only the
+wall-clock differs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.data import Configuration
+from repro.exceptions import QueryError
+from repro.queries import certain_answers
+from repro.runtime.cache import RelevanceOracle, access_key
+from repro.runtime.executor import AccessExecutor, candidate_accesses
+from repro.runtime.metrics import RuntimeMetrics
+from repro.runtime.persist import PersistentWitnessCache
+from repro.runtime.procpool import ProcessRelevancePool
+from repro.runtime.screening import (
+    CandidateScreen,
+    access_is_relevant,
+    resolve_group_verdict,
+)
+from repro.runtime.serialize import query_token
+from repro.runtime.shards import SharedVerdictStore
+from repro.schema import Access
+from repro.sources.service import Mediator
+
+__all__ = ["MultiQueryMediator", "QueryOutcome", "QueryServer", "ServerResult"]
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """Per-query outcome of one :meth:`QueryServer.answer` call."""
+
+    query: object
+    answers: FrozenSet[Tuple[object, ...]]
+    certain: bool
+    relevance_checks: int = 0
+    rounds_exhausted: bool = False
+
+    @property
+    def boolean_answer(self) -> bool:
+        """Boolean reading of the answer set (true iff non-empty)."""
+        return bool(self.answers)
+
+
+@dataclass(frozen=True)
+class ServerResult:
+    """Aggregate outcome of one :meth:`QueryServer.answer` call.
+
+    ``accesses_made`` and ``facts_retrieved`` are *shared* totals: an access
+    wanted by several queries is performed (and counted) once.
+    """
+
+    outcomes: Tuple[QueryOutcome, ...]
+    rounds: int
+    accesses_made: int
+    facts_retrieved: int
+    rounds_exhausted: bool = False
+
+    @property
+    def answers(self) -> Tuple[FrozenSet[Tuple[object, ...]], ...]:
+        """The answer sets, in query submission order."""
+        return tuple(outcome.answers for outcome in self.outcomes)
+
+    @property
+    def boolean_answers(self) -> Tuple[bool, ...]:
+        """The Boolean readings, in query submission order."""
+        return tuple(outcome.boolean_answer for outcome in self.outcomes)
+
+
+class _QueryState:
+    """One query's strategy state inside an answer call."""
+
+    __slots__ = (
+        "query",
+        "boolean",
+        "oracle",
+        "screen",
+        "prefilter_ltr",
+        "certain",
+        "relevance_checks",
+        "exhausted",
+    )
+
+    def __init__(self, query, boolean, oracle, screen, prefilter_ltr) -> None:
+        self.query = query
+        self.boolean = boolean
+        self.oracle = oracle
+        self.screen = screen
+        self.prefilter_ltr = prefilter_ltr
+        self.certain = False
+        self.relevance_checks = 0
+        self.exhausted = False
+
+
+class QueryServer:
+    """A long-lived multi-query answering runtime over one mediator.
+
+    Parameters
+    ----------
+    mediator:
+        The federated engine whose configuration every query shares.
+    use_immediate / use_long_term / ltr_method:
+        The relevance notions each query's strategy filters accesses with
+        (same semantics as :func:`repro.planner.dynamic.relevance_guided_strategy`).
+    search_workers / pool:
+        ``search_workers > 1`` builds a :class:`ProcessRelevancePool` owned
+        by the server (closed by :meth:`close`); an explicit ``pool`` is
+        attached as-is and left open.  The pool runs every query's fresh LTR
+        searches — and the per-round certainty checks — concurrently.
+    cache_path / persist:
+        A :class:`PersistentWitnessCache` path (or instance): witness paths
+        captured by any query are recorded, and every store warms up from it,
+        so a restarted server revalidates instead of searching fresh.
+    parallelism:
+        Access-execution concurrency per round (source latency overlap),
+        forwarded to the shared executor.
+    metrics:
+        A shared sink; per-query oracles, the screens, and the executor all
+        record into it.
+    max_stores:
+        Bound on the per-query store registry (least-recently-used stores
+        are evicted; an evicted query merely loses cross-request reuse).
+    """
+
+    def __init__(
+        self,
+        mediator: Mediator,
+        *,
+        use_immediate: bool = False,
+        use_long_term: bool = True,
+        ltr_method: str = "auto",
+        metrics: Optional[RuntimeMetrics] = None,
+        search_workers: int = 1,
+        pool: Optional[ProcessRelevancePool] = None,
+        cache_path: Optional[str] = None,
+        persist: Optional[PersistentWitnessCache] = None,
+        parallelism: int = 1,
+        max_entries: Optional[int] = 65536,
+        max_stores: int = 64,
+    ) -> None:
+        if not use_immediate and not use_long_term:
+            raise QueryError("at least one relevance notion must be enabled")
+        if cache_path is not None and persist is not None:
+            raise QueryError("pass either cache_path or a persist instance, not both")
+        self._mediator = mediator
+        self._use_immediate = use_immediate
+        self._use_long_term = use_long_term
+        self._ltr_method = ltr_method
+        self._metrics = metrics if metrics is not None else RuntimeMetrics()
+        self._own_pool = pool is None and search_workers > 1
+        self._pool = (
+            ProcessRelevancePool(search_workers) if self._own_pool else pool
+        )
+        self._persist = (
+            PersistentWitnessCache(cache_path) if cache_path is not None else persist
+        )
+        self._parallelism = max(1, parallelism)
+        self._max_entries = max_entries
+        # Bounded LRU of per-query verdict stores: a server streaming
+        # mostly-distinct queries must not pin one store (and its LRUs) per
+        # query ever seen.  Evicting a store only costs reuse — a returning
+        # query rebuilds its history (or re-seeds it from the persistent
+        # cache), never a wrong answer.
+        self._max_stores = max(1, max_stores)
+        self._stores: "OrderedDict[str, SharedVerdictStore]" = OrderedDict()
+        # One executor for the server's lifetime: its deduplication set is
+        # what makes an access performed by one answer call advance — and
+        # never be re-sent by — every later call.
+        self._executor = AccessExecutor(mediator, metrics=self._metrics)
+
+    # ------------------------------------------------------------------ #
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def mediator(self) -> Mediator:
+        """The mediator whose configuration the queries share."""
+        return self._mediator
+
+    @property
+    def metrics(self) -> RuntimeMetrics:
+        """The shared metrics sink."""
+        return self._metrics
+
+    @property
+    def pool(self) -> Optional[ProcessRelevancePool]:
+        """The attached process pool, if any."""
+        return self._pool
+
+    @property
+    def persist(self) -> Optional[PersistentWitnessCache]:
+        """The attached persistent witness cache, if any."""
+        return self._persist
+
+    def store_for(self, query) -> SharedVerdictStore:
+        """The per-(query, schema) verdict store, created on first use.
+
+        Stores are keyed by the query's process-stable token, so two equal
+        queries (even parsed from different strings) share one store, and
+        the registry survives across :meth:`answer` calls — that is what
+        makes the server a *server* rather than a per-request library.
+        """
+        boolean = query if query.is_boolean else query.boolean_closure()
+        token = query_token(boolean)
+        store = self._stores.get(token)
+        if store is None:
+            store = SharedVerdictStore(
+                boolean, self._mediator.schema, max_entries=self._max_entries
+            )
+            self._stores[token] = store
+            while len(self._stores) > self._max_stores:
+                self._stores.popitem(last=False)
+        else:
+            self._stores.move_to_end(token)
+        return store
+
+    def close(self) -> None:
+        """Shut down a server-owned process pool (idempotent)."""
+        if self._own_pool and self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> "QueryServer":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Answering
+    # ------------------------------------------------------------------ #
+    def answer(
+        self,
+        queries: Sequence[object],
+        *,
+        max_rounds: int = 50,
+        strategy: str = "guided",
+    ) -> ServerResult:
+        """Answer a batch of queries over the shared configuration.
+
+        ``strategy="guided"`` runs the shared relevance-guided rounds of the
+        module docstring; ``strategy="exhaustive"`` retrieves the full
+        accessible part once (every well-formed access to a fixpoint) and
+        then evaluates all queries against it — the Li [18] baseline, here
+        paying its retrieval cost once for the whole batch.
+        """
+        if strategy not in ("guided", "exhaustive"):
+            raise QueryError(f"unknown answering strategy {strategy!r}")
+        queries = list(queries)
+        if not queries:
+            return ServerResult((), 0, 0, 0)
+        executor = self._executor
+        accesses_before = self._mediator.access_count
+        facts_before = len(self._mediator.configuration_view)
+        if strategy == "exhaustive":
+            states, rounds, exhausted = self._exhaustive_rounds(
+                queries, executor, max_rounds
+            )
+        else:
+            states, rounds, exhausted = self._guided_rounds(
+                queries, executor, max_rounds
+            )
+        outcomes = self._finalize(states)
+        return ServerResult(
+            outcomes=outcomes,
+            rounds=rounds,
+            accesses_made=self._mediator.access_count - accesses_before,
+            facts_retrieved=len(self._mediator.configuration_view) - facts_before,
+            rounds_exhausted=exhausted,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _make_states(self, queries: Sequence[object]) -> List[_QueryState]:
+        states: List[_QueryState] = []
+        schema = self._mediator.schema
+        for query in queries:
+            boolean = query if query.is_boolean else query.boolean_closure()
+            oracle = RelevanceOracle(
+                boolean,
+                schema,
+                ltr_method=self._ltr_method,
+                metrics=self._metrics,
+                max_entries=self._max_entries,
+                store=self.store_for(boolean),
+                pool=self._pool,
+                persist=self._persist,
+            )
+            screen = CandidateScreen(boolean, schema, metrics=self._metrics)
+            prefilter_ltr = self._use_long_term and self._ltr_method in (
+                "auto",
+                "direct",
+                "independent",
+                "single-occurrence",
+            )
+            states.append(_QueryState(query, boolean, oracle, screen, prefilter_ltr))
+        return states
+
+    def _resolve_certainty(
+        self, states: Sequence[_QueryState], configuration: Configuration
+    ) -> None:
+        """Update ``state.certain`` for every state (monotone, so certain
+        states are never re-checked).  With a pool attached the uncached
+        checks of different queries run concurrently on the workers."""
+        unresolved: List[_QueryState] = []
+        for state in states:
+            if state.certain:
+                continue
+            cached = state.oracle.cached_certainty(configuration)
+            if cached is not None:
+                state.certain = cached
+            else:
+                unresolved.append(state)
+        if not unresolved:
+            return
+        if self._pool is not None and len(unresolved) > 1:
+            futures = [
+                self._pool.submit(
+                    "certain", state.boolean, self._mediator.schema, configuration
+                )
+                for state in unresolved
+            ]
+            for state, future in zip(unresolved, futures):
+                verdict = bool(future.result()[0])
+                state.oracle.adopt_certainty(configuration, verdict)
+                state.certain = verdict
+                self._metrics.incr("server.pool_certainty")
+        else:
+            for state in unresolved:
+                state.certain = state.oracle.is_certain(configuration)
+
+    def _guided_rounds(
+        self,
+        queries: Sequence[object],
+        executor: AccessExecutor,
+        max_rounds: int,
+    ) -> Tuple[List[_QueryState], int, bool]:
+        mediator = self._mediator
+        schema = mediator.schema
+        states = self._make_states(queries)
+        rounds = 0
+        progressed_out = False
+        for _round in range(max_rounds):
+            rounds += 1
+            self._metrics.incr("server.rounds")
+            configuration = mediator.configuration_view
+            self._resolve_certainty(states, configuration)
+            active = [state for state in states if not state.certain]
+            if not active:
+                return states, rounds, False
+
+            candidates = candidate_accesses(
+                schema, configuration, executor.has_performed_key
+            )
+            # Per query: prefilter + group, then submit every query's fresh
+            # LTR searches before collecting any — with a pool the searches
+            # of different queries overlap across the worker processes.
+            grouped: List[Tuple[_QueryState, List]] = []
+            for state in active:
+                mine = candidates
+                if state.prefilter_ltr:
+                    mine = state.screen.prefilter(mine)
+                elif self._use_immediate and not self._use_long_term:
+                    mine = state.screen.prefilter(mine, immediate_only=True)
+                grouped.append((state, state.screen.group(mine, configuration)))
+            finishers = []
+            if self._use_long_term:
+                for state, groups in grouped:
+                    finishers.append(
+                        state.oracle.begin_prefetch_long_term(
+                            [representative for representative, _m in groups],
+                            configuration,
+                        )
+                    )
+            for finish in finishers:
+                finish()
+
+            # Assemble each query's relevant accesses, then union them.
+            wanted: Dict[Tuple[str, Tuple[object, ...]], List[_QueryState]] = {}
+            batch_accesses: List[Access] = []
+            for state, groups in grouped:
+                for representative, members in groups:
+                    state.relevance_checks += 1
+                    if not resolve_group_verdict(
+                        state.oracle,
+                        representative,
+                        members,
+                        configuration,
+                        use_long_term=self._use_long_term,
+                        use_immediate=self._use_immediate,
+                    ):
+                        continue
+                    for access in [representative] + [m for m, _map in members]:
+                        key = access_key(access)
+                        owners = wanted.get(key)
+                        if owners is None:
+                            wanted[key] = [state]
+                            batch_accesses.append(access)
+                        elif state not in owners:
+                            owners.append(state)
+
+            def precheck(access: Access) -> bool:
+                live = mediator.configuration_view
+                keep = False
+                for state in wanted.get(access_key(access), ()):
+                    if state.certain:
+                        continue
+                    state.relevance_checks += 1
+                    if access_is_relevant(
+                        state.oracle,
+                        access,
+                        live,
+                        use_long_term=self._use_long_term,
+                        use_immediate=self._use_immediate,
+                    ):
+                        keep = True
+                return keep
+
+            def stop() -> bool:
+                live = mediator.configuration_view
+                for state in states:
+                    if state.certain:
+                        continue
+                    if not state.oracle.is_certain(live):
+                        return False
+                    state.certain = True
+                return True
+
+            batch = executor.execute_batch(
+                batch_accesses,
+                precheck=precheck,
+                stop=stop,
+                max_concurrency=self._parallelism,
+            )
+            if not batch.progressed:
+                return states, rounds, False
+        # Budget ran out while rounds were still progressing: conservatively
+        # flag the still-open queries, unless nothing is left to try.
+        final = mediator.configuration_view
+        self._resolve_certainty(states, final)
+        if candidate_accesses(schema, final, executor.has_performed_key):
+            for state in states:
+                if not state.certain:
+                    state.exhausted = True
+                    progressed_out = True
+            if progressed_out:
+                self._metrics.incr("server.rounds_exhausted")
+        return states, rounds, progressed_out
+
+    def _exhaustive_rounds(
+        self,
+        queries: Sequence[object],
+        executor: AccessExecutor,
+        max_rounds: int,
+    ) -> Tuple[List[_QueryState], int, bool]:
+        mediator = self._mediator
+        schema = mediator.schema
+        states = self._make_states(queries)
+        rounds = 0
+        for _round in range(max_rounds):
+            rounds += 1
+            self._metrics.incr("server.rounds")
+            candidates = candidate_accesses(
+                schema, mediator.configuration_view, executor.has_performed_key
+            )
+            batch = executor.execute_batch(
+                candidates, max_concurrency=self._parallelism
+            )
+            if not batch.progressed:
+                return states, rounds, False
+        exhausted = bool(
+            candidate_accesses(
+                schema, mediator.configuration_view, executor.has_performed_key
+            )
+        )
+        if exhausted:
+            for state in states:
+                state.exhausted = True
+            self._metrics.incr("server.rounds_exhausted")
+        return states, rounds, exhausted
+
+    def _finalize(self, states: List[_QueryState]) -> Tuple[QueryOutcome, ...]:
+        """Evaluate every query at the final configuration (pooled when possible)."""
+        final = self._mediator.configuration_view
+        answer_sets: List[FrozenSet[Tuple[object, ...]]] = []
+        if self._pool is not None and len(states) > 1:
+            futures = [
+                self._pool.submit("answers", state.query, self._mediator.schema, final)
+                for state in states
+            ]
+            for future in futures:
+                answer_sets.append(frozenset(future.result()[0]))
+        else:
+            for state in states:
+                answer_sets.append(certain_answers(state.query, final))
+        outcomes = []
+        for state, answers in zip(states, answer_sets):
+            # ``certain`` is monotone, so a flag set during the rounds is
+            # final; otherwise ask the (memoized) oracle at the final
+            # configuration — the rounds may have ended between the merge
+            # that made a query certain and its next certainty check.
+            certain = state.certain or state.oracle.is_certain(final)
+            outcomes.append(
+                QueryOutcome(
+                    query=state.query,
+                    answers=answers,
+                    certain=certain,
+                    relevance_checks=state.relevance_checks,
+                    rounds_exhausted=state.exhausted,
+                )
+            )
+        return tuple(outcomes)
+
+
+#: The name the ROADMAP promised; the implementation grew into a server.
+MultiQueryMediator = QueryServer

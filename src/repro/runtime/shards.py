@@ -84,6 +84,22 @@ class LRUCache:
         with self._lock:
             self._entries.pop(key, None)
 
+    def stats(self) -> dict:
+        """Hit/miss gauges: ``{hits, misses, entries, hit_rate}``.
+
+        ``hit_rate`` is ``None`` until the cache has been probed at least
+        once (0/0 is unknown, not zero).
+        """
+        with self._lock:
+            hits, misses, entries = self.hits, self.misses, len(self._entries)
+        probes = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "entries": entries,
+            "hit_rate": (hits / probes) if probes else None,
+        }
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
@@ -141,6 +157,29 @@ class ShardedLRUCache:
     def discard(self, key: Hashable) -> None:
         """Drop ``key`` from its shard if present."""
         self._shard(key).discard(key)
+
+    def shard_stats(self) -> List[dict]:
+        """Per-shard hit/miss gauges, in shard order."""
+        return [shard.stats() for shard in self._shards]
+
+    def stats(self) -> dict:
+        """Aggregate gauges plus the per-shard breakdown.
+
+        The ``per_shard`` list makes routing imbalance visible: with keys
+        hashing badly, one shard's probes dwarf the others' and its lock
+        becomes the contention point the sharding was meant to avoid.
+        """
+        per_shard = self.shard_stats()
+        hits = sum(entry["hits"] for entry in per_shard)
+        misses = sum(entry["misses"] for entry in per_shard)
+        probes = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "entries": sum(entry["entries"] for entry in per_shard),
+            "hit_rate": (hits / probes) if probes else None,
+            "per_shard": per_shard,
+        }
 
     def __len__(self) -> int:
         return sum(len(shard) for shard in self._shards)

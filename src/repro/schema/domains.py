@@ -51,6 +51,19 @@ class AbstractDomain:
     def __hash__(self) -> int:
         return self._hash  # type: ignore[attr-defined]
 
+    def __getstate__(self) -> dict:
+        # The cached hash is salted per process (``hash`` of the name) and
+        # must never travel across a pickle boundary: a domain unpickled with
+        # the sending process's hash would disagree with an equal domain
+        # constructed fresh in the receiving process, corrupting any dict or
+        # set that holds both.
+        return {"name": self.name, "values": self.values}
+
+    def __setstate__(self, state: dict) -> None:
+        object.__setattr__(self, "name", state["name"])
+        object.__setattr__(self, "values", state["values"])
+        object.__setattr__(self, "_hash", hash((self.__class__, self.name)))
+
     @property
     def is_enumerated(self) -> bool:
         """Whether the domain has a declared finite value set."""

@@ -418,3 +418,20 @@ class Mediator:
         """Make constants (e.g. query constants) available for dependent bindings."""
         for value, domain in constants:
             self._configuration.add_constant(value, domain)
+
+    def serve(self, **server_kwargs):
+        """A :class:`~repro.runtime.server.QueryServer` over this mediator.
+
+        Convenience entry point for the multi-query runtime::
+
+            with mediator.serve(search_workers=4, cache_path="witness.jsonl") as server:
+                result = server.answer([q1, q2, q3])
+
+        All keyword arguments are forwarded to the server's constructor.
+        The server shares this mediator's configuration: every access any
+        query triggers is visible to later ``answer`` calls (and to direct
+        :meth:`perform` callers).
+        """
+        from repro.runtime.server import QueryServer
+
+        return QueryServer(self, **server_kwargs)

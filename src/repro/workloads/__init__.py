@@ -9,11 +9,15 @@ from repro.workloads.generators import (
 )
 from repro.workloads.query_generators import chain_query, random_cq, random_pq, star_query
 from repro.workloads.scenarios import (
+    MultiQueryScenario,
+    bank_multi_query_scenario,
     RelevanceScenario,
     containment_example_scenario,
     dependent_chain_scenario,
     diamond_scenario,
     fanout_scenario,
+    multi_query_scenario,
+    star_join_scenario,
     wide_fanout_scenario,
     independent_pq_scenario,
     independent_scenario,
@@ -30,11 +34,15 @@ __all__ = [
     "star_query",
     "random_cq",
     "random_pq",
+    "MultiQueryScenario",
     "RelevanceScenario",
+    "bank_multi_query_scenario",
     "independent_scenario",
     "independent_pq_scenario",
     "dependent_chain_scenario",
     "fanout_scenario",
+    "multi_query_scenario",
+    "star_join_scenario",
     "wide_fanout_scenario",
     "diamond_scenario",
     "small_arity_scenario",

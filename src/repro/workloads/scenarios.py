@@ -7,6 +7,8 @@ entry point.
 
 from __future__ import annotations
 
+import itertools
+import random
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -17,16 +19,74 @@ from repro.workloads.generators import chain_schema
 from repro.workloads.query_generators import chain_query, random_cq, random_pq
 
 __all__ = [
+    "MultiQueryScenario",
     "RelevanceScenario",
+    "bank_multi_query_scenario",
     "independent_scenario",
     "independent_pq_scenario",
     "dependent_chain_scenario",
     "fanout_scenario",
     "wide_fanout_scenario",
     "diamond_scenario",
+    "multi_query_scenario",
     "small_arity_scenario",
+    "star_join_scenario",
     "containment_example_scenario",
 ]
+
+
+def _distinct_subsets(rng, universe, size, count):
+    """``count`` sorted ``size``-subsets of ``universe``, distinct while possible.
+
+    Rejection-samples distinct subsets from ``rng``; once every distinct
+    subset has been drawn, the remainder recycles deterministically instead
+    of silently returning fewer (the multi-query scenario generators promise
+    exactly ``count`` queries).
+    """
+    subsets = []
+    seen = set()
+    all_subsets = list(itertools.combinations(universe, size))
+    while len(subsets) < count:
+        if len(seen) == len(all_subsets):
+            subsets.append(all_subsets[len(subsets) % len(all_subsets)])
+            continue
+        subset = tuple(sorted(rng.sample(universe, size)))
+        if subset in seen:
+            continue
+        seen.add(subset)
+        subsets.append(subset)
+    return subsets
+
+
+def _build_mediator(
+    schema: Schema,
+    hidden_instance: Optional[Instance],
+    configuration: Configuration,
+    name: str,
+    *,
+    latency_s: float = 0.0,
+    latency_jitter_s: float = 0.0,
+    completeness: float = 1.0,
+    seed: int = 0,
+    metrics=None,
+):
+    """Shared mediator construction for the scenario classes."""
+    if hidden_instance is None:
+        raise ValueError(f"scenario {name!r} has no hidden instance")
+    from repro.sources.service import DataSource, Mediator
+
+    sources = [
+        DataSource(
+            method,
+            hidden_instance,
+            completeness=completeness,
+            seed=seed + index,
+            latency_s=latency_s,
+            latency_jitter_s=latency_jitter_s,
+        )
+        for index, method in enumerate(schema.access_methods)
+    ]
+    return Mediator(schema, sources, configuration.copy(), metrics=metrics)
 
 
 @dataclass(frozen=True)
@@ -62,23 +122,16 @@ class RelevanceScenario:
         access delay — the regime where the parallel answering runtime pays;
         ``completeness``/``seed`` build sound-but-partial sources.
         """
-        if self.hidden_instance is None:
-            raise ValueError(f"scenario {self.name!r} has no hidden instance")
-        from repro.sources.service import DataSource, Mediator
-
-        sources = [
-            DataSource(
-                method,
-                self.hidden_instance,
-                completeness=completeness,
-                seed=seed + index,
-                latency_s=latency_s,
-                latency_jitter_s=latency_jitter_s,
-            )
-            for index, method in enumerate(self.schema.access_methods)
-        ]
-        return Mediator(
-            self.schema, sources, self.configuration.copy(), metrics=metrics
+        return _build_mediator(
+            self.schema,
+            self.hidden_instance,
+            self.configuration,
+            self.name,
+            latency_s=latency_s,
+            latency_jitter_s=latency_jitter_s,
+            completeness=completeness,
+            seed=seed,
+            metrics=metrics,
         )
 
 
@@ -287,6 +340,239 @@ def small_arity_scenario(length: int = 3) -> RelevanceScenario:
         scenario.query,
         scenario.access,
         expected_long_term=True,
+    )
+
+
+@dataclass(frozen=True)
+class MultiQueryScenario:
+    """A packaged multi-query answering problem: N queries, one hidden instance.
+
+    The scenario is what the :class:`~repro.runtime.server.QueryServer`
+    benchmarks and tests run on — all queries are over one schema and one
+    simulated source set, so their answering rounds share a configuration.
+    """
+
+    name: str
+    schema: Schema
+    configuration: Configuration
+    queries: Tuple[object, ...]
+    hidden_instance: Instance
+
+    def mediator(
+        self,
+        *,
+        latency_s: float = 0.0,
+        latency_jitter_s: float = 0.0,
+        completeness: float = 1.0,
+        seed: int = 0,
+        metrics=None,
+    ):
+        """A mediator over the scenario's simulated sources (fresh state)."""
+        return _build_mediator(
+            self.schema,
+            self.hidden_instance,
+            self.configuration,
+            self.name,
+            latency_s=latency_s,
+            latency_jitter_s=latency_jitter_s,
+            completeness=completeness,
+            seed=seed,
+            metrics=metrics,
+        )
+
+
+def multi_query_scenario(
+    n_queries: int = 8,
+    branches: int = 6,
+    mids: int = 2,
+    *,
+    atoms_per_query: int = 3,
+    seed: int = 0,
+) -> MultiQueryScenario:
+    """N fanout-style Boolean queries over one shared hidden instance.
+
+    The schema is the fanout shape (one hub access exposing ``mids`` mid
+    values, ``branches`` branch relations joining on the shared mid, plus the
+    query-irrelevant ``Audit`` side relation).  Each query is a conjunction
+    of ``atoms_per_query`` *distinct branch subsets* drawn deterministically
+    from ``seed`` — so the queries overlap pairwise (shared branch accesses
+    are performed once for the whole batch) without being equal (each gets
+    its own verdict store).
+
+    Only branches ``B1 .. B(branches-1)`` hold facts for ``m0``; a query
+    whose subset includes the last branch is unsatisfiable, so every batch
+    mixes early-certain queries with run-to-fixpoint ones — exactly the mix
+    a multi-query scheduler has to handle.
+    """
+    if atoms_per_query < 1 or atoms_per_query > branches:
+        raise ValueError("atoms_per_query must be between 1 and branches")
+    base = fanout_scenario(branches, audit=True, mids=mids, satisfiable=False)
+    rng = random.Random(seed)
+    subsets = _distinct_subsets(
+        rng, range(1, branches + 1), atoms_per_query, n_queries
+    )
+    queries = tuple(
+        parse_cq(
+            base.schema,
+            ", ".join(f"B{index}(m, z{index})" for index in subset),
+            name=f"mq{q_index}-" + "".join(str(index) for index in subset),
+        )
+        for q_index, subset in enumerate(subsets)
+    )
+    return MultiQueryScenario(
+        name=f"multi-{n_queries}q-{branches}b-{mids}m",
+        schema=base.schema,
+        configuration=base.configuration,
+        queries=queries,
+        hidden_instance=base.hidden_instance,
+    )
+
+
+def star_join_scenario(
+    n_queries: int = 6,
+    spokes: int = 5,
+    keys: int = 3,
+    *,
+    atoms_per_query: int = 3,
+    seed: int = 0,
+) -> MultiQueryScenario:
+    """N star-join Boolean queries over shared spoke relations.
+
+    ``spokes`` relations ``S1(key, val) .. Sk(key, val)`` each carry a
+    dependent access bound on ``key``; the configuration seeds ``keys`` key
+    constants, so the very first round already holds ``spokes × keys``
+    candidate accesses.  Query ``j`` joins a subset of spokes on a shared
+    key variable (``S_a(k, va) & S_b(k, vb) & ...``).  The hidden instance
+    populates each spoke for a sliding window of keys, making some joins
+    satisfiable and others empty.
+
+    Compared to :func:`multi_query_scenario` the joins here have *no hub*:
+    every spoke access is independent of the others, so the round's
+    relevance searches — one per (query, spoke, key) orbit — dominate and
+    the process pool has real CPU-bound work to spread.
+    """
+    if atoms_per_query < 2 or atoms_per_query > spokes:
+        raise ValueError("atoms_per_query must be between 2 and spokes")
+    builder = SchemaBuilder()
+    builder.domain("K")
+    for index in range(1, spokes + 1):
+        builder.domain(f"V{index}")
+        builder.relation(f"S{index}", [("key", "K"), ("val", f"V{index}")])
+        builder.access(f"accS{index}", f"S{index}", inputs=["key"], dependent=True)
+    schema = builder.build()
+
+    configuration = Configuration.empty(schema)
+    key_domain = schema.relation("S1").domain_of(0)
+    for key_index in range(keys):
+        configuration.add_constant(f"k{key_index}", key_domain)
+
+    hidden = Instance(schema)
+    for index in range(1, spokes + 1):
+        # Spoke i covers keys [i-1, i-1 + keys//2] (mod keys): windows
+        # overlap, so some spoke subsets share a key and join non-trivially
+        # while others miss.
+        for offset in range(max(1, keys // 2 + 1)):
+            key_index = (index - 1 + offset) % keys
+            hidden.add(f"S{index}", (f"k{key_index}", f"v{index}_{key_index}"))
+
+    rng = random.Random(seed)
+    subsets = _distinct_subsets(
+        rng, range(1, spokes + 1), atoms_per_query, n_queries
+    )
+    queries = []
+    for q_index, subset in enumerate(subsets):
+        body = ", ".join(f"S{index}(k, v{index})" for index in subset)
+        queries.append(
+            parse_cq(
+                schema,
+                body,
+                name=f"star{q_index}-" + "".join(str(index) for index in subset),
+            )
+        )
+    return MultiQueryScenario(
+        name=f"star-{n_queries}q-{spokes}s-{keys}k",
+        schema=schema,
+        configuration=configuration,
+        queries=tuple(queries),
+        hidden_instance=hidden,
+    )
+
+
+def bank_multi_query_scenario(
+    n_queries: int = 8,
+    *,
+    employees: int = 8,
+    offices: int = 4,
+    states: int = 4,
+    known_employees: int = 2,
+    seed: int = 7,
+) -> MultiQueryScenario:
+    """N variants of the bank's motivating query over one hidden bank.
+
+    Each query asks for a ``(state, offering)`` combination — *is there a
+    loan officer located in <state>, with <offering> approved in <state>?* —
+    drawn deterministically from ``seed``.  The variants share every
+    navigation step (employee → office, employee → manager), so the server
+    performs the shared accesses once, while the per-query witness searches
+    are the CPU-bound part: on the bank shape a fresh LTR search costs tens
+    of milliseconds (management-chain support plans), which is exactly the
+    regime where process-pool search workers pay.
+
+    Only the ``State`` and ``Offering`` constants vary.  The employee title
+    is deliberately fixed: every extra ``Text``-domain constant in the shared
+    configuration multiplies the witness-assignment space of *all* queries'
+    searches (``Text`` occurs at three Employee places), degrading the batch
+    from CPU-bound to intractable.
+    """
+    from repro.sources.bank import build_bank_scenario
+
+    bank = build_bank_scenario(
+        employees=employees,
+        offices=offices,
+        states=states,
+        seed=seed,
+        known_employees=known_employees,
+    )
+    schema = bank.schema
+    rng = random.Random(seed)
+    state_names = ["Illinois"] + [f"State{i}" for i in range(1, states)]
+    offerings = ["30yr", "15yr", "auto", "heloc"]
+    combos = [
+        (state, offering) for state in state_names for offering in offerings
+    ]
+    rng.shuffle(combos)
+    # Keep the guaranteed-satisfiable motivating combination in every batch.
+    chosen = [("Illinois", "30yr")]
+    chosen.extend(combo for combo in combos if combo != chosen[0])
+    if n_queries > len(chosen):
+        # More queries than distinct (state, offering) combinations:
+        # recycle deterministically rather than silently shrinking the batch.
+        chosen = [chosen[index % len(chosen)] for index in range(n_queries)]
+    chosen = chosen[:n_queries]
+    queries = tuple(
+        parse_cq(
+            schema,
+            f"Employee(e, 'loan officer', ln, fn, o), Office(o, a, '{state}', p), "
+            f"Approval('{state}', '{offering}')",
+            name=f"bank{index}-{state}-{offering}",
+        )
+        for index, (state, offering) in enumerate(chosen)
+    )
+
+    configuration = Configuration.empty(schema)
+    emp_domain = schema.relation("Employee").domain_of(0)
+    for emp_id in bank.known_employee_ids:
+        configuration.add_constant(emp_id, emp_domain)
+    for query in queries:
+        for value, domain in query.constants_with_domains():
+            configuration.add_constant(value, domain)
+
+    return MultiQueryScenario(
+        name=f"bank-multi-{n_queries}q-{employees}e",
+        schema=schema,
+        configuration=configuration,
+        queries=queries,
+        hidden_instance=bank.hidden_instance,
     )
 
 

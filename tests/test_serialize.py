@@ -1,0 +1,279 @@
+"""Serialization layer tests: pickling round-trips, stable digests, and the
+process-pool equivalence property.
+
+The query-server runtime ships schemas, queries, accesses, and configuration
+snapshots across process boundaries and keys a persistent cache on their
+digests, so three properties are load-bearing:
+
+* ``loads(dumps(x))`` preserves equality — and, for configurations, the
+  content *fingerprint* (rebuilt, not copied, on the receiving side);
+* the stable tokens of :mod:`repro.runtime.serialize` are pure functions of
+  structure (equal objects agree, different objects disagree);
+* a :class:`ProcessRelevancePool` worker returns exactly the verdict the
+  in-process search computes, and its witness paths revalidate in-process.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import (
+    AbstractDomain,
+    Access,
+    Configuration,
+    Instance,
+)
+from repro.core import is_long_term_relevant
+from repro.queries import is_certain
+from repro.runtime import ProcessRelevancePool
+from repro.runtime.serialize import (
+    UnencodableValueError,
+    access_token,
+    configuration_digest,
+    decode_json_steps,
+    decode_json_value,
+    decode_witness_steps,
+    encode_json_steps,
+    encode_json_value,
+    encode_witness_steps,
+    query_token,
+    schema_token,
+)
+from repro.workloads import (
+    bank_multi_query_scenario,
+    diamond_scenario,
+    fanout_scenario,
+    multi_query_scenario,
+    random_configuration,
+    random_instance,
+    random_schema,
+    star_join_scenario,
+)
+from repro.workloads.query_generators import random_cq
+
+
+def roundtrip(obj):
+    return pickle.loads(pickle.dumps(obj))
+
+
+# --------------------------------------------------------------------------- #
+# Pickle round-trips
+# --------------------------------------------------------------------------- #
+class TestPickleRoundTrips:
+    def test_domain_hash_is_recomputed_on_unpickle(self):
+        domain = AbstractDomain("D")
+        clone = roundtrip(domain)
+        assert clone == domain
+        # The cached hash must agree with a freshly constructed equal domain
+        # in *this* process — mixing unpickled and fresh domains in one dict
+        # must be safe.
+        assert hash(clone) == hash(AbstractDomain("D"))
+        lookup = {clone: 1, AbstractDomain("D"): 2}
+        assert len(lookup) == 1
+
+    def test_enumerated_domain_roundtrip(self):
+        domain = AbstractDomain("B", frozenset({0, 1}))
+        clone = roundtrip(domain)
+        assert clone == domain and clone.values == domain.values
+        assert clone.admits(1) and not clone.admits(2)
+
+    def test_schema_roundtrip_preserves_structure(self):
+        scenario = fanout_scenario(3)
+        clone = roundtrip(scenario.schema)
+        assert schema_token(clone) == schema_token(scenario.schema)
+        assert [r.name for r in clone.relations] == [
+            r.name for r in scenario.schema.relations
+        ]
+        assert [m.name for m in clone.access_methods] == [
+            m.name for m in scenario.schema.access_methods
+        ]
+        # The clone is fully usable: build an access against it.
+        Access(clone.access_method("accHub"), ("start",))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_query_roundtrip(self, seed):
+        schema = random_schema(relations=3, max_arity=3, seed=seed)
+        query = random_cq(schema, atoms=3, variables=4, seed=seed)
+        clone = roundtrip(query)
+        assert clone == query
+        assert query_token(clone) == query_token(query)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_random_configuration_roundtrip_keeps_fingerprint(self, seed):
+        schema = random_schema(relations=3, max_arity=3, seed=seed)
+        instance = random_instance(schema, tuples_per_relation=6, seed=seed)
+        configuration = random_configuration(instance, fraction=0.6, seed=seed)
+        clone = roundtrip(configuration)
+        assert isinstance(clone, Configuration)
+        assert clone.fingerprint() == configuration.fingerprint()
+        assert configuration_digest(clone) == configuration_digest(configuration)
+        assert clone == configuration
+        assert clone.seed_constants == configuration.seed_constants
+
+    def test_configuration_roundtrip_keeps_seed_constants(self):
+        scenario = fanout_scenario(2)
+        configuration = scenario.configuration
+        clone = roundtrip(configuration)
+        assert clone.seed_constants == configuration.seed_constants
+        assert clone.fingerprint() == configuration.fingerprint()
+        # The clone keeps working as a live store.
+        assert clone.add("Hub", ("start", "m9"))
+        assert clone.fingerprint() != configuration.fingerprint()
+
+    def test_instance_roundtrip(self, binary_instance):
+        clone = roundtrip(binary_instance)
+        assert isinstance(clone, Instance)
+        assert clone == binary_instance
+        assert clone.fingerprint() == binary_instance.fingerprint()
+
+    def test_access_roundtrip(self):
+        scenario = fanout_scenario(2)
+        clone = roundtrip(scenario.access)
+        assert clone == scenario.access
+        assert access_token(clone) == access_token(scenario.access)
+
+
+# --------------------------------------------------------------------------- #
+# Stable tokens
+# --------------------------------------------------------------------------- #
+class TestStableTokens:
+    def test_query_token_ignores_name_but_not_structure(self):
+        scenario = multi_query_scenario(4, 4, 2, atoms_per_query=2, seed=0)
+        q0, q1 = scenario.queries[0], scenario.queries[1]
+        renamed = type(q0)(q0.atoms, q0.free_variables, "other-name")
+        assert query_token(renamed) == query_token(q0)
+        assert query_token(q0) != query_token(q1)
+
+    def test_schema_token_distinguishes_schemas(self):
+        assert schema_token(fanout_scenario(2).schema) != schema_token(
+            fanout_scenario(3).schema
+        )
+        assert schema_token(fanout_scenario(3).schema) == schema_token(
+            fanout_scenario(3).schema
+        )
+
+    def test_access_token_distinguishes_bindings(self):
+        scenario = star_join_scenario(2, 3, 2, atoms_per_query=2)
+        method = scenario.schema.access_method("accS1")
+        assert access_token(Access(method, ("k0",))) != access_token(
+            Access(method, ("k1",))
+        )
+
+    def test_configuration_digest_tracks_content(self):
+        scenario = fanout_scenario(2)
+        configuration = scenario.configuration.copy()
+        before = configuration_digest(configuration)
+        assert before == configuration_digest(scenario.configuration)
+        configuration.add("Hub", ("start", "m0"))
+        assert configuration_digest(configuration) != before
+
+
+# --------------------------------------------------------------------------- #
+# Witness step specs and the JSON value codec
+# --------------------------------------------------------------------------- #
+class TestWitnessWire:
+    def test_steps_roundtrip_through_specs_and_json(self):
+        scenario = fanout_scenario(3)
+        from repro.core import long_term_relevance_with_witness
+
+        verdict, steps = long_term_relevance_with_witness(
+            scenario.query, scenario.access, scenario.configuration, scenario.schema
+        )
+        assert verdict and steps
+        specs = encode_witness_steps(steps)
+        decoded = decode_witness_steps(specs, scenario.schema)
+        assert [s.access.method.name for s in decoded] == [
+            s.access.method.name for s in steps
+        ]
+        assert [s.facts for s in decoded] == [s.facts for s in steps]
+        json_specs = decode_json_steps(encode_json_steps(specs))
+        assert json_specs == specs
+
+    def test_json_value_codec_roundtrips_scalars_and_tuples(self):
+        values = ["text", 7, 1.5, True, False, None, ("nested", (1, 2)), []]
+        for value in values:
+            decoded = decode_json_value(encode_json_value(value))
+            expected = tuple(value) if isinstance(value, list) else value
+            assert decoded == expected
+        # bool/int and str/int stay distinct through the tagging.
+        assert decode_json_value(encode_json_value(True)) is True
+        assert decode_json_value(encode_json_value(1)) == 1
+        assert decode_json_value(encode_json_value("1")) == "1"
+
+    def test_json_value_codec_rejects_exotic_values(self):
+        with pytest.raises(UnencodableValueError):
+            encode_json_value(object())
+        with pytest.raises(UnencodableValueError):
+            decode_json_value(["?", 1])
+
+
+# --------------------------------------------------------------------------- #
+# Process-pool equivalence: worker verdicts == in-process search
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def shared_pool():
+    with ProcessRelevancePool(2) as pool:
+        yield pool
+
+
+class TestProcessPoolEquivalence:
+    def _probes(self, scenario):
+        schema = scenario.schema
+        configuration = scenario.configuration.copy()
+        for fact in scenario.hidden_instance.facts():
+            configuration.add(fact.relation, fact.values)
+        probes = []
+        by_domain = configuration.active_values_by_domain()
+        for method in schema.access_methods:
+            pools = [
+                by_domain.get(method.relation.domain_of(place), ())
+                for place in method.input_places
+            ]
+            if all(pools):
+                binding = tuple(pool[0] for pool in pools)
+                probes.append(Access(method, binding))
+        return configuration, probes
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_pool_ltr_matches_fresh_search(self, shared_pool, seed):
+        for scenario in (fanout_scenario(3), diamond_scenario(2)):
+            query = scenario.query
+            configuration, probes = self._probes(scenario)
+            futures = shared_pool.submit_ltr_many(
+                query, scenario.schema, configuration, probes
+            )
+            for probe, future in zip(probes, futures):
+                verdict, witness = shared_pool.ltr_result(future, scenario.schema)
+                fresh = is_long_term_relevant(
+                    query, probe, configuration, scenario.schema
+                )
+                assert verdict == fresh, (scenario.name, probe)
+                if witness is not None:
+                    # A returned path is a genuine witness at the probed
+                    # configuration — revalidation replays it soundly.
+                    assert witness.revalidate(query, configuration)
+
+    def test_pool_certainty_and_answers_match(self, shared_pool):
+        scenario = bank_multi_query_scenario(3, employees=5, offices=3, states=3)
+        configuration, _probes = self._probes(scenario)
+        for query in scenario.queries:
+            certain = shared_pool.submit(
+                "certain", query, scenario.schema, configuration
+            ).result()[0]
+            assert certain == is_certain(query, configuration)
+            answers = shared_pool.submit(
+                "answers", query, scenario.schema, configuration
+            ).result()[0]
+            from repro.queries import certain_answers
+
+            assert answers == certain_answers(query, configuration)
+
+    def test_pool_rejects_unknown_kind(self, shared_pool):
+        scenario = fanout_scenario(2)
+        future = shared_pool.submit(
+            "nope", scenario.query, scenario.schema, scenario.configuration
+        )
+        with pytest.raises(ValueError):
+            future.result()
