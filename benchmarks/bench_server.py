@@ -27,7 +27,7 @@ import time
 import pytest
 
 from repro.planner import relevance_guided_strategy
-from repro.runtime import QueryServer, RuntimeMetrics
+from repro.runtime import QueryServer, RuntimeMetrics, Tracer
 from repro.workloads import bank_multi_query_scenario, multi_query_scenario
 
 
@@ -95,15 +95,26 @@ def test_server_guided_cpu_bound_batch(benchmark):
     # through its ``min``, and a single noisy sample on a shared CI runner
     # must not be able to fail the job.
     result, metrics = benchmark.pedantic(run, rounds=3, iterations=1)
-    counters = metrics.snapshot()["counters"]
+    snapshot = metrics.snapshot()
+    counters = snapshot["counters"]
     # The batch is genuinely search-bound: every query resolved, fresh
     # searches dominate the profile.
     assert counters.get("oracle.fresh_searches", 0) > 0
     assert result.outcomes[0].boolean_answer  # the motivating combination
+    # Histogram-derived latency quantiles: the server records every answer
+    # call and round into bounded histograms, so p50/p99 come straight from
+    # the metrics surface rather than from post-processing raw samples.
+    histograms = snapshot["histograms"]
+    rounds = histograms.get("server.round_latency", {})
     benchmark.extra_info.update(
         {
             "fresh_searches": counters.get("oracle.fresh_searches", 0),
             "accesses": result.accesses_made,
+            "round_p50_ms": round(rounds.get("p50", 0.0) * 1000, 3),
+            "round_p99_ms": round(rounds.get("p99", 0.0) * 1000, 3),
+            "query_p99_ms": round(
+                histograms.get("server.query_latency", {}).get("p99", 0.0) * 1000, 3
+            ),
         }
     )
 
@@ -145,6 +156,61 @@ def test_process_pool_speedup_and_equivalence():
             f"4-worker server only {speedup:.2f}x faster "
             f"({single_wall * 1000:.0f}ms -> {pooled_wall * 1000:.0f}ms) "
             f"on {cpus} CPUs"
+        )
+
+
+@pytest.mark.experiment("SERVER-tracing-overhead")
+def test_tracing_overhead_guided_batch():
+    """Tracing-overhead smoke: a fully traced server run stays within 10%
+    of the untraced run on the CPU-bound guided batch.
+
+    Span recording must be cheap relative to real work — the guided batch
+    spends its time in relevance searches, so per-span bookkeeping (a few
+    dict ops and two clock reads) should disappear into the profile.  Both
+    sides take the min of three runs, which is what keeps a noisy shared
+    runner from failing the job: the *minima* are stable even when single
+    samples are not.  The assertion is skipped in smoke mode (sub-second
+    runs on shared runners make a 10% bound meaningless) but the ratio is
+    always printed and the traced run must produce a span tree covering
+    every layer of the hierarchy.
+    """
+    scenario = _cpu_scenario()
+
+    def run(tracer):
+        mediator = scenario.mediator()
+        metrics = RuntimeMetrics()
+        with QueryServer(mediator, metrics=metrics, tracer=tracer) as server:
+            started = time.perf_counter()
+            result = server.answer(scenario.queries)
+            wall = time.perf_counter() - started
+        return result, wall
+
+    untraced_wall = float("inf")
+    traced_wall = float("inf")
+    spans = []
+    for _ in range(3):
+        plain, wall = run(None)
+        untraced_wall = min(untraced_wall, wall)
+        tracer = Tracer()
+        traced, wall = run(tracer)
+        traced_wall = min(traced_wall, wall)
+        spans = tracer.spans()
+        assert traced.answers == plain.answers
+
+    names = {span.name for span in spans}
+    assert {"answer", "round", "query", "verdicts", "oracle"} <= names
+    assert "access-batch" in names and "source-call" in names
+
+    ratio = traced_wall / untraced_wall
+    print(
+        f"\ntracing overhead: {ratio:.3f}x "
+        f"({untraced_wall * 1000:.0f}ms -> {traced_wall * 1000:.0f}ms, "
+        f"{len(spans)} spans)"
+    )
+    if not _smoke():
+        assert ratio <= 1.10, (
+            f"traced run {ratio:.3f}x slower than untraced "
+            f"({untraced_wall * 1000:.0f}ms -> {traced_wall * 1000:.0f}ms)"
         )
 
 

@@ -29,24 +29,47 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 
-def load_means(path: str) -> Dict[str, float]:
-    """Map benchmark fullnames to best (min) seconds from a pytest-benchmark JSON.
+def load_stats(path: str) -> Tuple[Dict[str, float], Dict[str, Dict[str, object]]]:
+    """Load best (min) seconds and ``extra_info`` per benchmark fullname.
 
-    Falls back to ``mean`` when ``min`` is absent.
+    Falls back to ``mean`` when ``min`` is absent.  ``extra_info`` is
+    whatever the benchmark recorded (counter totals, histogram-derived
+    p50/p99 latencies, …) and is passed through to the report verbatim so
+    the gate output is readable without re-opening the JSON artifacts.
     """
     with open(path) as handle:
         payload = json.load(handle)
     means: Dict[str, float] = {}
+    extras: Dict[str, Dict[str, object]] = {}
     for bench in payload.get("benchmarks", []):
         name = bench.get("fullname") or bench.get("name")
         stats = bench.get("stats") or {}
         best = stats.get("min", stats.get("mean"))
         if name and isinstance(best, (int, float)):
             means[name] = float(best)
-    return means
+            info = bench.get("extra_info")
+            if isinstance(info, dict) and info:
+                extras[name] = info
+    return means, extras
+
+
+def load_means(path: str) -> Dict[str, float]:
+    """Back-compat wrapper around :func:`load_stats`."""
+    return load_stats(path)[0]
+
+
+def _format_extras(info: Dict[str, object]) -> str:
+    parts = []
+    for key in sorted(info):
+        value = info[key]
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.6g}")
+        else:
+            parts.append(f"{key}={value}")
+    return ", ".join(parts)
 
 
 def compare(
@@ -54,9 +77,15 @@ def compare(
     current: Dict[str, float],
     threshold: float,
     gate: str,
+    extras: Optional[Dict[str, Dict[str, object]]] = None,
 ) -> Tuple[bool, str]:
-    """Return (ok, report).  ``gate`` is a comma-separated substring list."""
+    """Return (ok, report).  ``gate`` is a comma-separated substring list.
+
+    ``extras`` maps fullnames to the current run's ``extra_info``; when
+    present each benchmark line is followed by an indented key=value line.
+    """
     gates = [part.strip() for part in gate.split(",") if part.strip()]
+    extras = extras or {}
     lines = []
     ok = True
     shared = sorted(set(baseline) & set(current))
@@ -74,8 +103,12 @@ def compare(
             f"{status:>18}  {ratio:6.2f}x  {base * 1000:10.2f}ms -> "
             f"{now * 1000:10.2f}ms  {name}"
         )
+        if name in extras:
+            lines.append(f"{'':>18}  extra: {_format_extras(extras[name])}")
     for name in sorted(set(current) - set(baseline)):
         lines.append(f"{'new':>18}  {'':>8}  {current[name] * 1000:10.2f}ms  {name}")
+        if name in extras:
+            lines.append(f"{'':>18}  extra: {_format_extras(extras[name])}")
     for name in sorted(set(baseline) - set(current)):
         lines.append(f"{'missing':>18}  {'':>8}  {'':>10}  {name}")
     if not shared:
@@ -109,8 +142,13 @@ def main(argv=None) -> int:
         ),
     )
     args = parser.parse_args(argv)
+    current_means, current_extras = load_stats(args.current)
     ok, report = compare(
-        load_means(args.baseline), load_means(args.current), args.threshold, args.gate
+        load_means(args.baseline),
+        current_means,
+        args.threshold,
+        args.gate,
+        extras=current_extras,
     )
     print(report)
     if not ok:

@@ -13,6 +13,12 @@ demo answers the batch three ways:
    :class:`~repro.runtime.persist.PersistentWitnessCache` file the first one
    wrote, revalidating stored witness paths instead of searching fresh.
 
+The warm-restart batch runs under a live :class:`~repro.runtime.Tracer`, so
+the demo closes with the observability surface: the latency histograms'
+p50/p99, the per-query ``explain`` report, and a Chrome-trace (Perfetto)
+file plus Prometheus snapshot written to ``REPRO_OBS_DIR`` (defaults to the
+working directory).
+
 Run with:  python examples/serve_demo.py
 """
 
@@ -23,7 +29,14 @@ import tempfile
 import time
 
 from repro.planner import relevance_guided_strategy
-from repro.runtime import QueryServer, RuntimeMetrics
+from repro.runtime import (
+    QueryServer,
+    RuntimeMetrics,
+    Tracer,
+    explain_trace,
+    prometheus_text,
+    write_chrome_trace,
+)
 from repro.workloads import bank_multi_query_scenario
 
 
@@ -77,9 +90,15 @@ def main() -> None:
         ]
 
         # -- 3. Warm restart from the persistent witness cache ---------- #
+        # This batch is fully traced: the tracer records the span tree the
+        # observability section below renders and exports.
         warm_metrics = RuntimeMetrics()
+        tracer = Tracer()
         with QueryServer(
-            scenario.mediator(), cache_path=cache_path, metrics=warm_metrics
+            scenario.mediator(),
+            cache_path=cache_path,
+            metrics=warm_metrics,
+            tracer=tracer,
         ) as restarted:
             started = time.perf_counter()
             warm = restarted.answer(scenario.queries)
@@ -91,7 +110,43 @@ def main() -> None:
         print("  revalidated:    ", warm_counters.get("witness.revalidated", 0))
         print("  fresh searches: ", warm_counters.get("oracle.fresh_searches", 0))
         print(f"  wall clock:      {warm_wall * 1000:.0f} ms")
+        print()
         assert warm.answers == result.answers
+
+        # -- 4. Observability: histograms, explain report, artifacts ---- #
+        histograms = warm_metrics.snapshot()["histograms"]
+        print("Latency histograms (warm-restart batch):")
+        for name in ("server.query_latency", "server.round_latency", "access.latency"):
+            summary = histograms.get(name)
+            if not summary or not summary["count"]:
+                continue
+            print(
+                f"  {name:22s}  n={summary['count']:<4d} "
+                f"p50={summary['p50'] * 1000:8.3f} ms  "
+                f"p99={summary['p99'] * 1000:8.3f} ms"
+            )
+        print()
+
+        obs_dir = os.environ.get("REPRO_OBS_DIR", ".")
+        os.makedirs(obs_dir, exist_ok=True)
+        trace_path = os.path.join(obs_dir, "serve_demo_trace.json")
+        events = write_chrome_trace(trace_path, tracer)
+        prom_path = os.path.join(obs_dir, "serve_demo_metrics.prom")
+        with open(prom_path, "w", encoding="utf-8") as handle:
+            handle.write(prometheus_text(warm_metrics))
+        print(f"Wrote {events} trace events to {trace_path} (open in Perfetto)")
+        print(f"Wrote Prometheus snapshot to {prom_path}")
+        print()
+
+        spans = tracer.spans()
+        print(f"Explain report (first query's trace, {len(spans)} spans total):")
+        report = explain_trace(spans)
+        # The full report covers the whole batch; print a readable prefix.
+        lines = report.splitlines()
+        for line in lines[:30]:
+            print("  " + line)
+        if len(lines) > 30:
+            print(f"  ... ({len(lines) - 30} more lines)")
 
 
 if __name__ == "__main__":

@@ -193,30 +193,42 @@ def evaluate_program(
 
     Returns a new database containing the extensional facts plus every
     derived intensional fact.
+
+    Under an active tracer each evaluation records a ``datalog.evaluate``
+    span (rule count, semi-naive iterations) — the import is deferred to
+    call time because :mod:`repro.runtime` transitively imports this module.
     """
-    database = IndexedDatabase(edb)
+    from repro.runtime.tracing import current_tracer
 
-    # Naive first round (facts and rules applied once over the EDB).
-    delta: Dict[str, Set[Tuple[object, ...]]] = {}
-    for rule in program:
-        for derived in list(_rule_derivations(rule, database)):
-            if database.add(rule.head.predicate, derived):
-                delta.setdefault(rule.head.predicate, set()).add(derived)
+    tracer = current_tracer()
+    with tracer.span("datalog.evaluate") as span:
+        database = IndexedDatabase(edb)
 
-    # Semi-naive iterations.
-    while delta:
-        new_delta: Dict[str, Set[Tuple[object, ...]]] = {}
+        # Naive first round (facts and rules applied once over the EDB).
+        delta: Dict[str, Set[Tuple[object, ...]]] = {}
         for rule in program:
-            if rule.is_fact:
-                continue
-            body_predicates = {literal.predicate for literal in rule.body}
-            if not body_predicates & set(delta):
-                continue
-            for derived in list(_rule_derivations(rule, database, delta)):
+            for derived in list(_rule_derivations(rule, database)):
                 if database.add(rule.head.predicate, derived):
-                    new_delta.setdefault(rule.head.predicate, set()).add(derived)
-        delta = new_delta
-    return database.as_database()
+                    delta.setdefault(rule.head.predicate, set()).add(derived)
+
+        # Semi-naive iterations.
+        iterations = 0
+        while delta:
+            iterations += 1
+            new_delta: Dict[str, Set[Tuple[object, ...]]] = {}
+            for rule in program:
+                if rule.is_fact:
+                    continue
+                body_predicates = {literal.predicate for literal in rule.body}
+                if not body_predicates & set(delta):
+                    continue
+                for derived in list(_rule_derivations(rule, database, delta)):
+                    if database.add(rule.head.predicate, derived):
+                        new_delta.setdefault(rule.head.predicate, set()).add(derived)
+            delta = new_delta
+        if tracer.enabled:
+            span.annotate(rules=len(program), iterations=iterations)
+        return database.as_database()
 
 
 # --------------------------------------------------------------------------- #

@@ -28,6 +28,7 @@ compared head to head in ``benchmarks/bench_dynamic_answering.py``.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import FrozenSet, List, Optional, Tuple
 
@@ -46,6 +47,7 @@ from repro.runtime import (
 )
 from repro.runtime.executor import candidate_accesses as _candidate_accesses
 from repro.runtime.screening import access_is_relevant, resolve_group_verdict
+from repro.runtime.tracing import TracerLike, activate_tracer, current_tracer
 from repro.schema import Access
 from repro.sources.service import Mediator
 
@@ -96,6 +98,7 @@ def exhaustive_strategy(
     max_rounds: int = 50,
     metrics: Optional[RuntimeMetrics] = None,
     parallelism: int = 1,
+    tracer: Optional[TracerLike] = None,
 ) -> AnsweringResult:
     """Perform every well-formed access until a fixpoint (Li [18]).
 
@@ -105,27 +108,51 @@ def exhaustive_strategy(
     fact.  If ``max_rounds`` ends the run while rounds were still making
     progress, the result is flagged ``rounds_exhausted`` — the retrieved
     accessible part (and hence the answer) may be incomplete.
+
+    ``tracer`` activates span recording for the run (a root ``query`` span
+    with one ``round`` span per batch); omitted, the run inherits whatever
+    tracer is ambient on the calling thread.  Per-query and per-round wall
+    time always land in the ``query.latency`` / ``round.latency`` histograms
+    of the metrics sink.
     """
     executor = AccessExecutor(mediator, metrics=metrics)
     facts_before = len(mediator.configuration_view)
     exhausted = False
-    for _round in range(max_rounds):
-        executor.metrics.incr("strategy.rounds")
-        candidates = _candidate_accesses(
-            mediator.schema, mediator.configuration_view, executor.has_performed_key
-        )
-        batch = executor.execute_batch(candidates, max_concurrency=parallelism)
-        if not batch.progressed:
-            break
-    else:
-        # The budget ran out while rounds were still progressing.  One free
-        # re-enumeration settles the common complete case: no candidate left
-        # means the fixpoint was reached in exactly ``max_rounds`` rounds.
-        if _candidate_accesses(
-            mediator.schema, mediator.configuration_view, executor.has_performed_key
+    started = time.perf_counter()
+    with activate_tracer(tracer if tracer is not None else current_tracer()) as active:
+        with active.span(
+            "query", query=getattr(query, "name", None), strategy="exhaustive"
         ):
-            exhausted = True
-            executor.metrics.incr("strategy.rounds_exhausted")
+            for round_index in range(max_rounds):
+                executor.metrics.incr("strategy.rounds")
+                round_started = time.perf_counter()
+                with active.span("round", index=round_index):
+                    candidates = _candidate_accesses(
+                        mediator.schema,
+                        mediator.configuration_view,
+                        executor.has_performed_key,
+                    )
+                    batch = executor.execute_batch(
+                        candidates, max_concurrency=parallelism
+                    )
+                executor.metrics.observe(
+                    "round.latency", time.perf_counter() - round_started
+                )
+                if not batch.progressed:
+                    break
+            else:
+                # The budget ran out while rounds were still progressing.  One
+                # free re-enumeration settles the common complete case: no
+                # candidate left means the fixpoint was reached in exactly
+                # ``max_rounds`` rounds.
+                if _candidate_accesses(
+                    mediator.schema,
+                    mediator.configuration_view,
+                    executor.has_performed_key,
+                ):
+                    exhausted = True
+                    executor.metrics.incr("strategy.rounds_exhausted")
+    executor.metrics.observe("query.latency", time.perf_counter() - started)
     return _result(mediator, query, facts_before, 0, 0, rounds_exhausted=exhausted)
 
 
@@ -144,6 +171,7 @@ def relevance_guided_strategy(
     search_workers: int = 1,
     pool: Optional[ProcessRelevancePool] = None,
     cache_path: Optional[str] = None,
+    tracer: Optional[TracerLike] = None,
 ) -> AnsweringResult:
     """Only perform accesses that are relevant for the query.
 
@@ -198,6 +226,14 @@ def relevance_guided_strategy(
 
     If ``max_rounds`` ends the run before certainty or a no-progress
     fixpoint, the result is flagged ``rounds_exhausted``.
+
+    ``tracer`` activates span recording for the run: a root ``query`` span,
+    one ``round`` span per round, and under each round the screening,
+    oracle, access-batch, and source-call spans the instrumented layers
+    record (see :mod:`repro.runtime.tracing`).  Omitted, the run inherits
+    the calling thread's ambient tracer — off by default.  Per-query and
+    per-round wall time always land in the ``query.latency`` /
+    ``round.latency`` histograms of the metrics sink.
     """
     if not use_immediate and not use_long_term:
         raise QueryError("at least one relevance notion must be enabled")
@@ -277,58 +313,68 @@ def relevance_guided_strategy(
             use_immediate=use_immediate,
         )
 
-    def _guided_rounds() -> bool:
-        """Run the answering rounds; returns the rounds-exhausted flag."""
+    def _one_round() -> bool:
+        """Run one answering round; True when the run is finished."""
         nonlocal relevance_checks
-        for _round in range(max_rounds):
+        configuration = mediator.configuration_view
+        if done(configuration):
+            return True
+        candidates = _candidate_accesses(
+            schema, configuration, executor.has_performed_key
+        )
+        if prefilter_ltr:
+            candidates = screen.prefilter(candidates)
+        elif use_immediate and not use_long_term:
+            candidates = screen.prefilter(candidates, immediate_only=True)
+
+        groups = screen.group(candidates, configuration)
+        if use_long_term:
+            # With a process pool attached the round's fresh LTR
+            # searches run concurrently on the workers; the loop below
+            # then hits the warmed cache.  Without a pool this is a
+            # no-op and every verdict resolves inline as before.
+            oracle.prefetch_long_term(
+                [representative for representative, _members in groups],
+                configuration,
+            )
+        relevant: List[Access] = []
+        for representative, members in groups:
+            relevance_checks += 1
+            if resolve_group_verdict(
+                oracle,
+                representative,
+                members,
+                configuration,
+                use_long_term=use_long_term,
+                use_immediate=use_immediate,
+            ):
+                relevant.append(representative)
+                relevant.extend(member for member, _mapping in members)
+
+        def precheck(access: Access) -> bool:
+            nonlocal relevance_checks
+            relevance_checks += 1
+            return should_perform(access, mediator.configuration_view)
+
+        batch = executor.execute_batch(
+            relevant,
+            precheck=precheck,
+            stop=lambda: done(mediator.configuration_view),
+            max_concurrency=parallelism,
+        )
+        return not batch.progressed or done(mediator.configuration_view)
+
+    def _guided_rounds(active: TracerLike) -> bool:
+        """Run the answering rounds; returns the rounds-exhausted flag."""
+        for round_index in range(max_rounds):
             executor.metrics.incr("strategy.rounds")
-            configuration = mediator.configuration_view
-            if done(configuration):
-                return False
-            candidates = _candidate_accesses(
-                schema, configuration, executor.has_performed_key
+            round_started = time.perf_counter()
+            with active.span("round", index=round_index):
+                finished = _one_round()
+            executor.metrics.observe(
+                "round.latency", time.perf_counter() - round_started
             )
-            if prefilter_ltr:
-                candidates = screen.prefilter(candidates)
-            elif use_immediate and not use_long_term:
-                candidates = screen.prefilter(candidates, immediate_only=True)
-
-            groups = screen.group(candidates, configuration)
-            if use_long_term:
-                # With a process pool attached the round's fresh LTR
-                # searches run concurrently on the workers; the loop below
-                # then hits the warmed cache.  Without a pool this is a
-                # no-op and every verdict resolves inline as before.
-                oracle.prefetch_long_term(
-                    [representative for representative, _members in groups],
-                    configuration,
-                )
-            relevant: List[Access] = []
-            for representative, members in groups:
-                relevance_checks += 1
-                if resolve_group_verdict(
-                    oracle,
-                    representative,
-                    members,
-                    configuration,
-                    use_long_term=use_long_term,
-                    use_immediate=use_immediate,
-                ):
-                    relevant.append(representative)
-                    relevant.extend(member for member, _mapping in members)
-
-            def precheck(access: Access) -> bool:
-                nonlocal relevance_checks
-                relevance_checks += 1
-                return should_perform(access, mediator.configuration_view)
-
-            batch = executor.execute_batch(
-                relevant,
-                precheck=precheck,
-                stop=lambda: done(mediator.configuration_view),
-                max_concurrency=parallelism,
-            )
-            if not batch.progressed or done(mediator.configuration_view):
+            if finished:
                 return False
         # Every allowed round progressed without reaching certainty (or, for
         # non-Boolean queries, a fixpoint): the answer may be incomplete.
@@ -341,11 +387,19 @@ def relevance_guided_strategy(
             return True
         return False
 
+    started = time.perf_counter()
     try:
-        exhausted = _guided_rounds()
+        with activate_tracer(
+            tracer if tracer is not None else current_tracer()
+        ) as active:
+            with active.span(
+                "query", query=getattr(query, "name", None), strategy="guided"
+            ):
+                exhausted = _guided_rounds(active)
     finally:
         if own_pool is not None:
             own_pool.close()
+    executor.metrics.observe("query.latency", time.perf_counter() - started)
 
     return _result(
         mediator,

@@ -31,18 +31,41 @@ needs around the paper's decision procedures:
   runtime: a batch of Boolean queries over one shared configuration, every
   performed access advancing every query's strategy;
 * :class:`~repro.runtime.metrics.RuntimeMetrics` — thread-safe counters,
-  timers (with call counts), and cache gauges the other components record
-  into.
+  timers (with call counts), latency histograms (p50/p95/p99), and cache
+  gauges the other components record into;
+* :mod:`~repro.runtime.tracing` — hierarchical spans over the whole answering
+  path (``answer → round → screen → oracle → access-batch → source-call``),
+  off by default via an ambient no-op tracer, propagated across the thread
+  pool and re-anchored across the process-pool wire;
+* :mod:`~repro.runtime.export` — Prometheus text, JSON snapshot, and
+  Chrome-trace (Perfetto) exporters plus the per-query ``explain`` report.
 """
 
 from repro.runtime.cache import LRUCache, RelevanceOracle, access_key
 from repro.runtime.executor import AccessExecutor, BatchResult
-from repro.runtime.metrics import RuntimeMetrics
+from repro.runtime.export import (
+    chrome_trace_events,
+    explain_trace,
+    json_snapshot,
+    prometheus_text,
+    write_chrome_trace,
+)
+from repro.runtime.metrics import LatencyHistogram, RuntimeMetrics
 from repro.runtime.persist import PersistentWitnessCache
 from repro.runtime.procpool import ProcessRelevancePool, default_search_workers
 from repro.runtime.screening import CandidateScreen, relevant_relation_closure
 from repro.runtime.server import MultiQueryMediator, QueryOutcome, QueryServer, ServerResult
 from repro.runtime.shards import ShardedLRUCache, SharedVerdictStore
+from repro.runtime.tracing import (
+    NO_TRACER,
+    NullTracer,
+    Span,
+    SpanContext,
+    Tracer,
+    activate_tracer,
+    current_tracer,
+    encode_spans,
+)
 from repro.runtime.witness import (
     ConfigurationSnapshot,
     LtrWitness,
@@ -55,8 +78,11 @@ __all__ = [
     "CandidateScreen",
     "ConfigurationSnapshot",
     "LRUCache",
+    "LatencyHistogram",
     "LtrWitness",
     "MultiQueryMediator",
+    "NO_TRACER",
+    "NullTracer",
     "PersistentWitnessCache",
     "ProcessRelevancePool",
     "QueryOutcome",
@@ -66,8 +92,19 @@ __all__ = [
     "ServerResult",
     "ShardedLRUCache",
     "SharedVerdictStore",
+    "Span",
+    "SpanContext",
+    "Tracer",
     "access_key",
+    "activate_tracer",
+    "chrome_trace_events",
+    "current_tracer",
     "default_search_workers",
     "dependent_input_domains",
+    "encode_spans",
+    "explain_trace",
+    "json_snapshot",
+    "prometheus_text",
     "relevant_relation_closure",
+    "write_chrome_trace",
 ]

@@ -64,6 +64,7 @@ from repro.exceptions import QueryError
 from repro.queries import is_certain
 from repro.runtime.metrics import RuntimeMetrics
 from repro.runtime.shards import LRUCache, ShardedLRUCache, SharedVerdictStore
+from repro.runtime.tracing import current_tracer
 from repro.runtime.witness import (
     ConfigurationSnapshot,
     LtrWitness,
@@ -158,10 +159,18 @@ class RelevanceOracle:
         self._metrics.register_cache("oracle.cache", self._cache)
         self._metrics.register_cache("oracle.witnesses", self._witnesses)
         self._metrics.register_cache("oracle.ltr_history", self._ltr_history)
+        # Provenance for trace annotations: which witness keys came off disk
+        # (vs captured live this process) and which verdicts a pool worker
+        # computed.  LtrWitness is frozen, so provenance lives here, not on
+        # the witness objects.
+        self._pool_shipped: set = set()
         if persist is not None and incremental:
-            seeded = persist.seed(self._witnesses, self._query, schema)
-            if seeded:
-                self._metrics.incr("persist.seeded", seeded)
+            seeded_keys = persist.seed(self._witnesses, self._query, schema)
+            self._persist_seeded = frozenset(seeded_keys)
+            if seeded_keys:
+                self._metrics.incr("persist.seeded", len(seeded_keys))
+        else:
+            self._persist_seeded = frozenset()
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -228,10 +237,26 @@ class RelevanceOracle:
         return verdict
 
     def is_certain(self, configuration: Configuration) -> bool:
-        """Memoized certainty of the query at ``configuration``."""
+        """Memoized certainty of the query at ``configuration``.
+
+        A ``certainty`` span is recorded only when the verdict is actually
+        computed — fingerprint hits stay span-free so per-round certainty
+        polling does not flood a trace with zero-duration entries.
+        """
         key = ("certain", configuration.fingerprint())
-        with self._metrics.timer("oracle.certain"):
-            return self._memoized(key, lambda: is_certain(self._query, configuration))
+        cached = self._cache.get(key, _MISSING)
+        if cached is not _MISSING:
+            self._metrics.incr("oracle.hits")
+            return bool(cached)
+        self._metrics.incr("oracle.misses")
+        tracer = current_tracer()
+        with tracer.span("certainty") as span:
+            with self._metrics.timer("oracle.certain"):
+                verdict = bool(is_certain(self._query, configuration))
+            if tracer.enabled:
+                span.annotate(certain=verdict)
+        self._cache.put(key, verdict)
+        return verdict
 
     def immediately_relevant(self, access: Access, configuration: Configuration) -> bool:
         """Memoized immediate relevance of ``access`` at ``configuration``."""
@@ -248,15 +273,43 @@ class RelevanceOracle:
         Resolution order: exact fingerprint hit → sound delta inheritance of
         the last verdict → O(|path|) revalidation of a stored witness →
         fresh search (capturing the witness on a positive answer).
+
+        Under an active tracer every call records an ``oracle`` span tagged
+        with the ``outcome`` that resolved it (``exact-hit`` /
+        ``pool-shipped`` / ``delta-inherited`` / ``revalidated`` / ``fresh``)
+        — the explain report's answer to *how* each verdict was obtained —
+        with ``witness-revalidate`` / ``fresh-search`` child spans around the
+        expensive stages.  Untraced, the exact-hit path costs one extra
+        thread-local read over the pre-tracing oracle.
         """
         akey = access_key(access)
         key = ("ltr", akey, configuration.fingerprint())
         cached = self._cache.get(key, _MISSING)
         if cached is not _MISSING:
             self._metrics.incr("oracle.hits")
+            tracer = current_tracer()
+            if tracer.enabled:
+                outcome = (
+                    "pool-shipped" if akey in self._pool_shipped else "exact-hit"
+                )
+                with tracer.span("oracle", method=access.method.name) as span:
+                    span.annotate(outcome=outcome, relevant=bool(cached))
             return bool(cached)
         self._metrics.incr("oracle.misses")
+        tracer = current_tracer()
+        if not tracer.enabled:
+            return self._resolve_ltr_miss(
+                access, akey, key, configuration, tracer, None
+            )
+        with tracer.span("oracle", method=access.method.name) as span:
+            return self._resolve_ltr_miss(
+                access, akey, key, configuration, tracer, span
+            )
 
+    def _resolve_ltr_miss(
+        self, access, akey, key, configuration, tracer, span
+    ) -> bool:
+        """The miss path of :meth:`long_term_relevant` (``span`` may be None)."""
         if self._incremental:
             history = self._ltr_history.get(akey)
             if history is not None and history.snapshot.delta_safe(
@@ -264,15 +317,29 @@ class RelevanceOracle:
             ):
                 self._metrics.incr("oracle.delta_hits")
                 self._cache.put(key, history.verdict)
+                if span is not None:
+                    span.annotate(outcome="delta-inherited", relevant=history.verdict)
                 return history.verdict
 
             witness = self._witnesses.get(akey)
             if witness is not None:
-                with self._metrics.timer("witness.revalidate"):
-                    revalidated = witness.revalidate(self._query, configuration)
+                with tracer.span("witness-revalidate") as wspan:
+                    with self._metrics.timer("witness.revalidate"):
+                        revalidated = witness.revalidate(self._query, configuration)
+                    if span is not None:
+                        wspan.annotate(
+                            ok=revalidated,
+                            provenance=(
+                                "persisted"
+                                if akey in self._persist_seeded
+                                else "captured"
+                            ),
+                        )
                 if revalidated:
                     self._metrics.incr("witness.revalidated")
                     self._record_ltr(akey, key, True, configuration, witness=None)
+                    if span is not None:
+                        span.annotate(outcome="revalidated", relevant=True)
                     return True
                 self._metrics.incr("witness.revalidation_failed")
                 # On a growing configuration a failed revalidation means the
@@ -286,17 +353,20 @@ class RelevanceOracle:
                 self._witnesses.discard(akey)
 
         self._metrics.incr("oracle.fresh_searches")
-        with self._metrics.timer("oracle.long_term"):
-            verdict, steps = long_term_relevance_with_witness(
-                self._query,
-                access,
-                configuration,
-                self._schema,
-                method=self._ltr_method,
-                options=self._options,
-            )
+        with tracer.span("fresh-search"):
+            with self._metrics.timer("oracle.long_term"):
+                verdict, steps = long_term_relevance_with_witness(
+                    self._query,
+                    access,
+                    configuration,
+                    self._schema,
+                    method=self._ltr_method,
+                    options=self._options,
+                )
         witness = LtrWitness(tuple(steps)) if steps else None
         self._record_ltr(akey, key, verdict, configuration, witness=witness, access=access)
+        if span is not None:
+            span.annotate(outcome="fresh", relevant=verdict)
         return verdict
 
     def _record_ltr(
@@ -379,6 +449,8 @@ class RelevanceOracle:
             return lambda: 0
         # Chunked submission: the configuration payload travels once per
         # chunk, not once per access (see ProcessRelevancePool.submit_ltr_chunks).
+        # submit_ltr_chunks captures the submitting thread's open span, so
+        # shipped worker spans re-anchor under the query that asked.
         chunks = self._pool.submit_ltr_chunks(
             self._query,
             self._schema,
@@ -386,6 +458,7 @@ class RelevanceOracle:
             pending,
             ltr_method=self._ltr_method,
             options=self._options,
+            trace=current_tracer().enabled,
         )
 
         def finish() -> int:
@@ -393,6 +466,7 @@ class RelevanceOracle:
                 chunks, self._schema
             ):
                 akey = access_key(access)
+                self._pool_shipped.add(akey)
                 self._metrics.incr("oracle.pool_searches")
                 self._metrics.incr("oracle.fresh_searches")
                 self._record_ltr(
@@ -448,6 +522,10 @@ class RelevanceOracle:
         """
         akey = access_key(access)
         self._metrics.incr("oracle.adopted")
+        tracer = current_tracer()
+        if tracer.enabled:
+            with tracer.span("oracle", method=access.method.name) as span:
+                span.annotate(outcome="adopted", relevant=verdict)
         self._record_ltr(
             akey,
             ("ltr", akey, configuration.fingerprint()),

@@ -23,11 +23,12 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.data import AccessResponse, Configuration
 from repro.runtime.cache import access_key
 from repro.runtime.metrics import RuntimeMetrics
+from repro.runtime.tracing import current_tracer
 from repro.schema import Access, Schema
 from repro.sources.service import Mediator
 
@@ -143,6 +144,7 @@ class AccessExecutor:
         precheck: Optional[Callable[[Access], bool]] = None,
         stop: Optional[Callable[[], bool]] = None,
         max_concurrency: int = 1,
+        annotate_access: Optional[Callable[[Access], Optional[Dict[str, object]]]] = None,
     ) -> BatchResult:
         """Perform every not-yet-performed access of the batch.
 
@@ -160,6 +162,14 @@ class AccessExecutor:
         merges all stay on the calling thread (see the mediator's concurrency
         notes), so the semantics match the sequential path except that up to
         ``max_concurrency`` accesses dispatched before a stop may complete.
+
+        When tracing is active the batch runs under an ``access-batch`` span
+        (each performed access's ``source-call`` span parents under it, even
+        from pool worker threads), and ``annotate_access`` — evaluated at
+        dispatch time — supplies extra tags for each access's span; the
+        query server passes the screening layer's why-was-this-performed
+        annotations here.  Per-access latency always lands in the
+        ``access.latency`` and ``access.latency.<method>`` histograms.
         """
         result = BatchResult()
 
@@ -191,11 +201,28 @@ class AccessExecutor:
             result.responses.append(response)
             result.new_facts += new_facts
 
-        self._mediator.perform_many(
-            deduplicated,
+        def on_timing(access: Access, duration: float) -> None:
+            self._metrics.observe("access.latency", duration)
+            self._metrics.observe(f"access.latency.{access.method.name}", duration)
+
+        tracer = current_tracer()
+        with tracer.span(
+            "access-batch",
+            candidates=len(deduplicated),
             max_concurrency=max_concurrency,
-            stop=stop,
-            should_perform=should_perform if precheck is not None else None,
-            on_performed=on_performed,
-        )
+        ) as batch_span:
+            self._mediator.perform_many(
+                deduplicated,
+                max_concurrency=max_concurrency,
+                stop=stop,
+                should_perform=should_perform if precheck is not None else None,
+                on_performed=on_performed,
+                on_timing=on_timing,
+                tags_for=annotate_access,
+            )
+            batch_span.annotate(
+                performed=result.performed,
+                skipped=result.skipped,
+                new_facts=result.new_facts,
+            )
         return result

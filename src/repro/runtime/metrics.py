@@ -21,17 +21,139 @@ Components may additionally :meth:`register_cache` their LRU caches; a
 :meth:`snapshot` then includes each cache's hit/miss gauges — including the
 per-shard breakdown of a :class:`~repro.runtime.shards.ShardedLRUCache`, so
 shard imbalance is visible without poking at internals.
+
+Cumulative timers answer *how much* total time a component consumed; they
+cannot answer "what latency does the p99 query see", which is the number a
+traffic-serving deployment is gated on.  :meth:`observe` records individual
+latency samples into bounded :class:`LatencyHistogram` buckets (geometric,
+microseconds to minutes, fixed memory regardless of sample count), and
+:meth:`quantile` / the snapshot's ``histograms`` section report p50/p95/p99
+from them.  The runtime records three families: per-query latency
+(``server.query_latency`` / ``query.latency``), per-round latency
+(``server.round_latency`` / ``round.latency``), and per-source access
+latency (``access.latency`` plus ``access.latency.<method>``).
 """
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 import weakref
+from bisect import bisect_left
 from contextlib import contextmanager
-from typing import Dict, Iterator
+from typing import Dict, Iterator, List, Optional, Tuple
 
-__all__ = ["RuntimeMetrics"]
+__all__ = ["LatencyHistogram", "RuntimeMetrics"]
+
+
+def _geometric_bounds() -> Tuple[float, ...]:
+    """Bucket upper bounds: 1µs growing ~15% per bucket up to ~600s."""
+    bounds: List[float] = []
+    value = 1e-6
+    while value < 600.0:
+        bounds.append(value)
+        value *= 1.15
+    return tuple(bounds)
+
+
+class LatencyHistogram:
+    """A bounded-memory latency histogram with quantile estimates.
+
+    Samples (seconds) land in geometric buckets — ~15% relative resolution
+    from a microsecond to ten minutes, a fixed ~140 integers however many
+    samples arrive — so a long-lived server can record every query without
+    growing state.  Quantiles interpolate within the winning bucket and are
+    clamped to the exact observed ``min``/``max``, which keeps small-sample
+    estimates honest (a 3-sample p99 is the max, not a bucket bound).
+    """
+
+    _BOUNDS = _geometric_bounds()
+
+    __slots__ = ("_counts", "_lock", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        # One overflow bucket beyond the last bound.
+        self._counts = [0] * (len(self._BOUNDS) + 1)
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Add one sample (negative values are clamped to zero)."""
+        value = seconds if seconds > 0.0 else 0.0
+        index = bisect_left(self._BOUNDS, value)
+        with self._lock:
+            self._counts[index] += 1
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The estimated ``q``-quantile in seconds (``None`` when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be between 0 and 1")
+        with self._lock:
+            if self.count == 0:
+                return None
+            rank = max(1, math.ceil(q * self.count))
+            cumulative = 0
+            index = len(self._counts) - 1
+            for i, bucket in enumerate(self._counts):
+                cumulative += bucket
+                if cumulative >= rank:
+                    index = i
+                    break
+            if index >= len(self._BOUNDS):
+                return self.max
+            upper = self._BOUNDS[index]
+            lower = self._BOUNDS[index - 1] if index > 0 else 0.0
+            estimate = (lower + upper) / 2.0
+            return min(max(estimate, self.min), self.max)
+
+    def buckets(self) -> List[Tuple[float, int]]:
+        """Cumulative ``(upper bound, count)`` pairs (Prometheus shape).
+
+        Trimmed to the populated range plus one trailing bucket, so an
+        all-microsecond histogram does not export a hundred empty lines.
+        """
+        with self._lock:
+            counts = list(self._counts)
+        out: List[Tuple[float, int]] = []
+        cumulative = 0
+        last_nonzero = -1
+        for i, bucket in enumerate(counts):
+            if bucket:
+                last_nonzero = i
+        for i in range(min(last_nonzero + 1, len(self._BOUNDS) - 1) + 1):
+            cumulative += counts[i]
+            out.append((self._BOUNDS[i], cumulative))
+        return out
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dict summary: count, sum, mean, min/max, p50/p95/p99."""
+        with self._lock:
+            count, total = self.count, self.total
+            minimum = self.min if count else None
+            maximum = self.max if count else None
+        return {
+            "count": count,
+            "sum": total,
+            "mean": (total / count) if count else None,
+            "min": minimum,
+            "max": maximum,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def __len__(self) -> int:
+        return self.count
 
 
 class RuntimeMetrics:
@@ -41,6 +163,7 @@ class RuntimeMetrics:
         self._counters: Dict[str, int] = {}
         self._timers: Dict[str, float] = {}
         self._timer_calls: Dict[str, int] = {}
+        self._histograms: Dict[str, LatencyHistogram] = {}
         # name -> weakref to the cache.  Weak on purpose: oracles register
         # their caches at construction, and a long-lived server constructs
         # oracles per answer call — a strong registry would pin every dead
@@ -94,6 +217,28 @@ class RuntimeMetrics:
             return self._timer_calls.get(name, 0)
 
     # ------------------------------------------------------------------ #
+    # Histograms
+    # ------------------------------------------------------------------ #
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one latency sample into histogram ``name``."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = LatencyHistogram()
+        # The histogram has its own lock; record outside ours.
+        histogram.record(seconds)
+
+    def histogram(self, name: str) -> Optional[LatencyHistogram]:
+        """The histogram recorded under ``name`` (``None`` if never observed)."""
+        with self._lock:
+            return self._histograms.get(name)
+
+    def quantile(self, name: str, q: float) -> Optional[float]:
+        """The ``q``-quantile of histogram ``name`` (``None`` when absent/empty)."""
+        histogram = self.histogram(name)
+        return histogram.quantile(q) if histogram is not None else None
+
+    # ------------------------------------------------------------------ #
     # Cache gauges
     # ------------------------------------------------------------------ #
     def register_cache(self, name: str, cache: object) -> str:
@@ -133,27 +278,58 @@ class RuntimeMetrics:
     # Reporting
     # ------------------------------------------------------------------ #
     def snapshot(self) -> Dict[str, object]:
-        """A plain-dict snapshot (counters, timers, call counts, caches)."""
+        """A plain-dict snapshot (counters, timers + means, histograms, caches).
+
+        ``timer_means`` is ``elapsed / calls`` per timer — the mean per-call
+        cost, readable directly from bench output without post-processing,
+        and the number that stays meaningful when parallel runs make the
+        summed total exceed wall-clock.
+        """
         with self._lock:
             self._prune_dead_caches()
             caches = {name: ref() for name, ref in self._caches.items()}
+            histograms = dict(self._histograms)
             snap: Dict[str, object] = {
                 "counters": dict(self._counters),
                 "timers": dict(self._timers),
                 "timer_calls": dict(self._timer_calls),
+                "timer_means": {
+                    name: elapsed / self._timer_calls[name]
+                    for name, elapsed in self._timers.items()
+                    if self._timer_calls.get(name)
+                },
             }
-        # Cache stats take per-cache locks; collect them outside our own.
+        # Cache and histogram stats take per-object locks; collect them
+        # outside our own.
+        snap["histograms"] = {
+            name: histogram.snapshot() for name, histogram in histograms.items()
+        }
         snap["caches"] = {
             name: cache.stats() for name, cache in caches.items() if cache is not None
         }
         return snap
 
     def reset(self) -> None:
-        """Drop all recorded values (registered caches stay registered)."""
+        """Drop all recorded values and zero registered caches' gauges.
+
+        Registered caches stay registered, but their hit/miss counters are
+        reset (via ``reset_stats()`` where the cache provides it) so a
+        post-reset snapshot genuinely starts from zero — previously the
+        cache gauges kept counting across resets, which made before/after
+        bench comparisons silently wrong.
+        """
         with self._lock:
             self._counters.clear()
             self._timers.clear()
             self._timer_calls.clear()
+            self._histograms.clear()
+            self._prune_dead_caches()
+            caches = [ref() for ref in self._caches.values()]
+        # Cache stat resets take per-cache locks; run them outside ours.
+        for cache in caches:
+            reset_stats = getattr(cache, "reset_stats", None)
+            if cache is not None and reset_stats is not None:
+                reset_stats()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"RuntimeMetrics(counters={self._counters!r})"

@@ -54,6 +54,7 @@ from repro.runtime.serialize import (
     schema_token,
     witness_digest,
 )
+from repro.runtime.tracing import current_tracer
 from repro.runtime.witness import LtrWitness
 from repro.schema import Access, Schema
 
@@ -170,20 +171,26 @@ class PersistentWitnessCache:
             self._decoded[key] = decoded
             return decoded
 
-    def seed(self, witness_cache, query, schema: Schema) -> int:
+    def seed(self, witness_cache, query, schema: Schema):
         """Copy stored witnesses into an in-memory witness cache.
 
         Only keys the cache does not already hold are written (a live
         witness captured this run is fresher than a persisted one).  Returns
-        the number of seeded entries.
+        the list of seeded access keys — the oracle keeps them for witness
+        *provenance* (a trace can then say whether a revalidation ran against
+        a persisted path or one captured live this process).
         """
-        seeded = 0
-        for akey, witness in self.witnesses_for(query, schema).items():
-            if akey not in witness_cache:
-                witness_cache.put(akey, witness)
-                seeded += 1
+        tracer = current_tracer()
+        with tracer.span("persist.seed") as span:
+            seeded = []
+            for akey, witness in self.witnesses_for(query, schema).items():
+                if akey not in witness_cache:
+                    witness_cache.put(akey, witness)
+                    seeded.append(akey)
+            if tracer.enabled:
+                span.annotate(seeded=len(seeded))
         with self._lock:
-            self.stats["seeded"] += seeded
+            self.stats["seeded"] += len(seeded)
         return seeded
 
     # ------------------------------------------------------------------ #
@@ -198,6 +205,14 @@ class PersistentWitnessCache:
         configuration=None,
     ) -> bool:
         """Append one captured witness path (deduplicated); True if written."""
+        tracer = current_tracer()
+        with tracer.span("persist.record") as span:
+            written = self._record(query, schema, access, witness, configuration)
+            if tracer.enabled:
+                span.annotate(written=written, method=access.method.name)
+        return written
+
+    def _record(self, query, schema, access, witness, configuration) -> bool:
         self._ensure_loaded()
         step_specs = encode_witness_steps(witness.steps)
         try:

@@ -50,6 +50,14 @@ from repro.runtime.serialize import (
     query_token,
     schema_token,
 )
+from repro.runtime.tracing import (
+    NO_TRACER,
+    SpanContext,
+    Tracer,
+    activate_tracer,
+    current_tracer,
+    encode_spans,
+)
 from repro.runtime.witness import LtrWitness
 from repro.schema import Access, Schema
 
@@ -94,15 +102,66 @@ def _decode_configuration(token: object, payload: bytes) -> Configuration:
     return configuration
 
 
+def _run_task_kind(kind, spec, query, schema, configuration, ltr_method, options, tracer):
+    """Dispatch one decoded task body (see :func:`_run_search_task`)."""
+    from repro.core import is_immediately_relevant, long_term_relevance_with_witness
+    from repro.queries import certain_answers, is_certain
+
+    if kind == "ltr":
+        access = Access(schema.access_method(spec[0]), tuple(spec[1]))
+        with tracer.span("pool-search", method=spec[0]) as span:
+            verdict, steps = long_term_relevance_with_witness(
+                query, access, configuration, schema, method=ltr_method, options=options
+            )
+            span.annotate(relevant=verdict)
+        return (verdict, encode_witness_steps(steps) if steps else None)
+    if kind == "ltr_batch":
+        results = []
+        for method_name, binding in spec:
+            access = Access(schema.access_method(method_name), tuple(binding))
+            with tracer.span("pool-search", method=method_name) as span:
+                verdict, steps = long_term_relevance_with_witness(
+                    query,
+                    access,
+                    configuration,
+                    schema,
+                    method=ltr_method,
+                    options=options,
+                )
+                span.annotate(relevant=verdict)
+            results.append((verdict, encode_witness_steps(steps) if steps else None))
+        return results
+    if kind == "ir":
+        access = Access(schema.access_method(spec[0]), tuple(spec[1]))
+        return (is_immediately_relevant(query, access, configuration), None)
+    if kind == "certain":
+        with tracer.span("pool-search", search="certainty") as span:
+            verdict = is_certain(query, configuration)
+            span.annotate(certain=verdict)
+        return (verdict, None)
+    if kind == "answers":
+        with tracer.span("pool-search", search="answers"):
+            answers = certain_answers(query, configuration)
+        return (answers, None)
+    raise ValueError(f"unknown search task kind {kind!r}")
+
+
 def _run_search_task(task: Tuple) -> Tuple:
     """Execute one relevance search in a worker process.
 
     ``task`` is a plain tuple (pickle-friendly, importable entry point):
     ``(kind, schema_token, schema_bytes, query_token, query_bytes,
-    config_token, config_bytes, access_spec_or_None, ltr_method, options)``.
-    Returns ``(verdict, witness_step_specs_or_None)`` for ``"ltr"``, the bare
-    verdict for ``"certain"`` / ``"ir"``, and the frozen answer set for
-    ``"answers"``.
+    config_token, config_bytes, access_spec_or_None, ltr_method, options,
+    trace)``.  Returns ``(verdict, witness_step_specs_or_None)`` for
+    ``"ltr"``, the bare verdict for ``"certain"`` / ``"ir"``, and the frozen
+    answer set for ``"answers"``.
+
+    With ``trace`` set the worker records its own span tree (a local
+    :class:`~repro.runtime.tracing.Tracer` activated for the task, so the
+    instrumented chase/datalog layers trace too) and the return value becomes
+    ``(payload, span_specs)`` — the encoded spans travel the same plain-tuple
+    wire as everything else and the parent re-anchors them under the
+    submitting span.  Untraced tasks return the exact legacy payload shapes.
     """
     (
         kind,
@@ -115,41 +174,20 @@ def _run_search_task(task: Tuple) -> Tuple:
         spec,
         ltr_method,
         options,
+        trace,
     ) = task
-    from repro.core import is_immediately_relevant, long_term_relevance_with_witness
-    from repro.queries import certain_answers, is_certain
-
     schema: Schema = _decode_cached(("schema", stoken), schema_bytes)
     query = _decode_cached(("query", stoken, qtoken), query_bytes)
     configuration = _decode_configuration((stoken, ctoken), config_bytes)
-    if kind == "ltr":
-        access = Access(schema.access_method(spec[0]), tuple(spec[1]))
-        verdict, steps = long_term_relevance_with_witness(
-            query, access, configuration, schema, method=ltr_method, options=options
-        )
-        return (verdict, encode_witness_steps(steps) if steps else None)
-    if kind == "ltr_batch":
-        results = []
-        for method_name, binding in spec:
-            access = Access(schema.access_method(method_name), tuple(binding))
-            verdict, steps = long_term_relevance_with_witness(
-                query,
-                access,
-                configuration,
-                schema,
-                method=ltr_method,
-                options=options,
+    tracer = Tracer() if trace else NO_TRACER
+    with activate_tracer(tracer if trace else None):
+        with tracer.span("pool-task", kind=kind):
+            payload = _run_task_kind(
+                kind, spec, query, schema, configuration, ltr_method, options, tracer
             )
-            results.append((verdict, encode_witness_steps(steps) if steps else None))
-        return results
-    if kind == "ir":
-        access = Access(schema.access_method(spec[0]), tuple(spec[1]))
-        return (is_immediately_relevant(query, access, configuration), None)
-    if kind == "certain":
-        return (is_certain(query, configuration), None)
-    if kind == "answers":
-        return (certain_answers(query, configuration), None)
-    raise ValueError(f"unknown search task kind {kind!r}")
+    if trace:
+        return (payload, encode_spans(tracer.spans()))
+    return payload
 
 
 # --------------------------------------------------------------------------- #
@@ -295,11 +333,15 @@ class ProcessRelevancePool:
         *,
         ltr_method: str = "auto",
         options: Optional[object] = None,
+        trace: bool = False,
     ) -> Future:
         """Submit one search task; returns the raw future.
 
         ``kind`` is ``"ltr"``, ``"ir"``, ``"certain"``, or ``"answers"``;
-        the first two require ``access``.
+        the first two require ``access``.  With ``trace`` the worker records
+        its span tree and the future resolves to ``(payload, span_specs)``
+        instead of the bare payload — only trace-aware callers should set it
+        (they re-anchor the specs with :meth:`Tracer.adopt_spans`).
         """
         stoken, schema_bytes = self._schema_payload(schema)
         qtoken, query_bytes = self._query_payload(query)
@@ -315,6 +357,7 @@ class ProcessRelevancePool:
             access_spec(access) if access is not None else None,
             ltr_method,
             options,
+            trace,
         )
         return self._ensure_executor().submit(_run_search_task, task)
 
@@ -351,7 +394,8 @@ class ProcessRelevancePool:
         *,
         ltr_method: str = "auto",
         options: Optional[object] = None,
-    ) -> List[Tuple[List[Access], Future]]:
+        trace: bool = False,
+    ) -> List[Tuple[List[Access], Future, bool, Optional[SpanContext]]]:
         """Submit the accesses' LTR searches in worker-sized chunks.
 
         Every submitted task tuple carries its own copy of the schema,
@@ -360,15 +404,22 @@ class ProcessRelevancePool:
         Chunking ships it O(#chunks): chunks are sized so each worker gets a
         few (load balancing against heterogeneous search costs) and each
         chunk's results come back as a list aligned with its accesses.
+
+        Each returned record is ``(accesses, future, traced, parent)`` —
+        ``parent`` captures the submitting thread's innermost open span so
+        :meth:`ltr_chunk_results`, which may run long after that span's
+        siblings started, re-anchors the worker's shipped spans under the
+        span that actually requested the work.
         """
         if not accesses:
             return []
+        parent = current_tracer().context() if trace else None
         chunk_size = max(1, -(-len(accesses) // (self._workers * 4)))
         stoken, schema_bytes = self._schema_payload(schema)
         qtoken, query_bytes = self._query_payload(query)
         ctoken, config_bytes = self._configuration_payload(configuration, stoken)
         executor = self._ensure_executor()
-        chunks: List[Tuple[List[Access], Future]] = []
+        chunks: List[Tuple[List[Access], Future, bool, Optional[SpanContext]]] = []
         for start in range(0, len(accesses), chunk_size):
             chunk = list(accesses[start : start + chunk_size])
             task = (
@@ -382,17 +433,31 @@ class ProcessRelevancePool:
                 tuple(access_spec(access) for access in chunk),
                 ltr_method,
                 options,
+                trace,
             )
-            chunks.append((chunk, executor.submit(_run_search_task, task)))
+            chunks.append((chunk, executor.submit(_run_search_task, task), trace, parent))
         return chunks
 
     def ltr_chunk_results(
-        self, chunks: List[Tuple[List[Access], Future]], schema: Schema
+        self,
+        chunks: List[Tuple[List[Access], Future, bool, Optional[SpanContext]]],
+        schema: Schema,
     ) -> List[Tuple[Access, bool, Optional[LtrWitness]]]:
-        """Unpack :meth:`submit_ltr_chunks`: per access, verdict + witness."""
+        """Unpack :meth:`submit_ltr_chunks`: per access, verdict + witness.
+
+        Traced chunks additionally carry the worker's encoded span tree; it
+        is adopted into the collecting thread's active tracer under the
+        span context captured at submission.
+        """
         results: List[Tuple[Access, bool, Optional[LtrWitness]]] = []
-        for chunk, future in chunks:
-            for access, (verdict, specs) in zip(chunk, future.result()):
+        tracer = current_tracer()
+        for chunk, future, traced, parent in chunks:
+            payload = future.result()
+            if traced:
+                payload, span_specs = payload
+                if tracer.enabled:
+                    tracer.adopt_spans(span_specs, parent)
+            for access, (verdict, specs) in zip(chunk, payload):
                 witness = (
                     LtrWitness(decode_witness_steps(specs, schema))
                     if specs

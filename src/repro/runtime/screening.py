@@ -29,6 +29,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.data import Configuration
 from repro.runtime.metrics import RuntimeMetrics
+from repro.runtime.tracing import current_tracer
 from repro.schema import Access, Schema
 
 __all__ = [
@@ -232,10 +233,14 @@ class CandidateScreen:
         subgoals of its own relation.
         """
         allowed = self._query_relations if immediate_only else self._closure
-        kept = [
-            access for access in candidates if access.relation.name in allowed
-        ]
-        dropped = len(candidates) - len(kept)
+        tracer = current_tracer()
+        with tracer.span("screen.prefilter") as span:
+            kept = [
+                access for access in candidates if access.relation.name in allowed
+            ]
+            dropped = len(candidates) - len(kept)
+            if tracer.enabled:
+                span.annotate(kept=len(kept), dropped=dropped)
         if dropped:
             self._metrics.incr("screen.prefiltered", dropped)
         return kept
@@ -251,27 +256,31 @@ class CandidateScreen:
         method; candidates beyond the cap open their own group (correct,
         merely less sharing).
         """
-        groups: List[Tuple[Access, List[Tuple[Access, Dict[object, object]]]]] = []
-        by_method: Dict[str, List[int]] = {}
-        for access in candidates:
-            indices = by_method.setdefault(access.method.name, [])
-            mapped = None
-            for group_index in indices[: self._max_group_probes]:
-                representative = groups[group_index][0]
-                mapping = _binding_automorphism(
-                    representative.binding,
-                    access.binding,
-                    configuration,
-                    self._fixed_values,
-                )
-                if mapping is not None:
-                    groups[group_index][1].append((access, mapping))
-                    mapped = group_index
-                    break
-            if mapped is None:
-                indices.append(len(groups))
-                groups.append((access, []))
-        shared = sum(len(members) for _rep, members in groups)
+        tracer = current_tracer()
+        with tracer.span("screen.group") as span:
+            groups: List[Tuple[Access, List[Tuple[Access, Dict[object, object]]]]] = []
+            by_method: Dict[str, List[int]] = {}
+            for access in candidates:
+                indices = by_method.setdefault(access.method.name, [])
+                mapped = None
+                for group_index in indices[: self._max_group_probes]:
+                    representative = groups[group_index][0]
+                    mapping = _binding_automorphism(
+                        representative.binding,
+                        access.binding,
+                        configuration,
+                        self._fixed_values,
+                    )
+                    if mapping is not None:
+                        groups[group_index][1].append((access, mapping))
+                        mapped = group_index
+                        break
+                if mapped is None:
+                    indices.append(len(groups))
+                    groups.append((access, []))
+            shared = sum(len(members) for _rep, members in groups)
+            if tracer.enabled:
+                span.annotate(groups=len(groups), shared=shared)
         if shared:
             self._metrics.incr("screen.shared_verdicts", shared)
         return groups

@@ -48,9 +48,10 @@ wall-clock differs.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.data import Configuration
 from repro.exceptions import QueryError
@@ -67,6 +68,7 @@ from repro.runtime.screening import (
 )
 from repro.runtime.serialize import query_token
 from repro.runtime.shards import SharedVerdictStore
+from repro.runtime.tracing import TracerLike, activate_tracer, current_tracer
 from repro.schema import Access
 from repro.sources.service import Mediator
 
@@ -126,9 +128,11 @@ class _QueryState:
         "certain",
         "relevance_checks",
         "exhausted",
+        "index",
+        "span_ctx",
     )
 
-    def __init__(self, query, boolean, oracle, screen, prefilter_ltr) -> None:
+    def __init__(self, query, boolean, oracle, screen, prefilter_ltr, index) -> None:
         self.query = query
         self.boolean = boolean
         self.oracle = oracle
@@ -137,6 +141,13 @@ class _QueryState:
         self.certain = False
         self.relevance_checks = 0
         self.exhausted = False
+        #: Submission-order position; tags spans and why-annotations so a
+        #: trace names queries stably even when they lack a ``name``.
+        self.index = index
+        #: The query's per-round span context — later phases of the same
+        #: round (verdict resolution, pooled prefetch adoption) re-anchor
+        #: their spans under the span that screened the query's candidates.
+        self.span_ctx = None
 
 
 class QueryServer:
@@ -167,6 +178,14 @@ class QueryServer:
     max_stores:
         Bound on the per-query store registry (least-recently-used stores
         are evicted; an evicted query merely loses cross-request reuse).
+    tracer:
+        An optional :class:`~repro.runtime.tracing.Tracer` activated for the
+        duration of every :meth:`answer` call.  With one attached the server
+        records the full span hierarchy — ``answer → round → certainty /
+        query → verdicts → oracle`` plus the executor's access batches — and
+        re-anchors spans shipped back from pool workers.  Without one the
+        ambient (usually no-op) tracer is used and the overhead is a few
+        thread-local reads per round.
     """
 
     def __init__(
@@ -184,6 +203,7 @@ class QueryServer:
         parallelism: int = 1,
         max_entries: Optional[int] = 65536,
         max_stores: int = 64,
+        tracer: Optional[TracerLike] = None,
     ) -> None:
         if not use_immediate and not use_long_term:
             raise QueryError("at least one relevance notion must be enabled")
@@ -203,6 +223,10 @@ class QueryServer:
         )
         self._parallelism = max(1, parallelism)
         self._max_entries = max_entries
+        # An explicit tracer is activated for the span of every answer call;
+        # without one the server joins whatever tracer is ambient on the
+        # calling thread (usually the no-op tracer).
+        self._tracer = tracer
         # Bounded LRU of per-query verdict stores: a server streaming
         # mostly-distinct queries must not pin one store (and its LRUs) per
         # query ever seen.  Evicting a store only costs reuse — a returning
@@ -297,22 +321,35 @@ class QueryServer:
         executor = self._executor
         accesses_before = self._mediator.access_count
         facts_before = len(self._mediator.configuration_view)
-        if strategy == "exhaustive":
-            states, rounds, exhausted = self._exhaustive_rounds(
-                queries, executor, max_rounds
-            )
-        else:
-            states, rounds, exhausted = self._guided_rounds(
-                queries, executor, max_rounds
-            )
-        outcomes = self._finalize(states)
-        return ServerResult(
-            outcomes=outcomes,
-            rounds=rounds,
-            accesses_made=self._mediator.access_count - accesses_before,
-            facts_retrieved=len(self._mediator.configuration_view) - facts_before,
-            rounds_exhausted=exhausted,
-        )
+        started = time.perf_counter()
+        tracer = self._tracer if self._tracer is not None else current_tracer()
+        with activate_tracer(tracer) as active:
+            with active.span("answer", queries=len(queries), strategy=strategy) as span:
+                if strategy == "exhaustive":
+                    states, rounds, exhausted = self._exhaustive_rounds(
+                        queries, executor, max_rounds
+                    )
+                else:
+                    states, rounds, exhausted = self._guided_rounds(
+                        queries, executor, max_rounds
+                    )
+                outcomes = self._finalize(states)
+                result = ServerResult(
+                    outcomes=outcomes,
+                    rounds=rounds,
+                    accesses_made=self._mediator.access_count - accesses_before,
+                    facts_retrieved=len(self._mediator.configuration_view) - facts_before,
+                    rounds_exhausted=exhausted,
+                )
+                if active.enabled:
+                    span.annotate(
+                        rounds=result.rounds,
+                        performed=result.accesses_made,
+                        facts=result.facts_retrieved,
+                        certain=sum(1 for outcome in outcomes if outcome.certain),
+                    )
+        self._metrics.observe("server.query_latency", time.perf_counter() - started)
+        return result
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -320,7 +357,7 @@ class QueryServer:
     def _make_states(self, queries: Sequence[object]) -> List[_QueryState]:
         states: List[_QueryState] = []
         schema = self._mediator.schema
-        for query in queries:
+        for index, query in enumerate(queries):
             boolean = query if query.is_boolean else query.boolean_closure()
             oracle = RelevanceOracle(
                 boolean,
@@ -339,7 +376,9 @@ class QueryServer:
                 "independent",
                 "single-occurrence",
             )
-            states.append(_QueryState(query, boolean, oracle, screen, prefilter_ltr))
+            states.append(
+                _QueryState(query, boolean, oracle, screen, prefilter_ltr, index)
+            )
         return states
 
     def _resolve_certainty(
@@ -359,21 +398,37 @@ class QueryServer:
                 unresolved.append(state)
         if not unresolved:
             return
-        if self._pool is not None and len(unresolved) > 1:
-            futures = [
-                self._pool.submit(
-                    "certain", state.boolean, self._mediator.schema, configuration
+        tracer = current_tracer()
+        with tracer.span("certainty", unresolved=len(unresolved)) as span:
+            if self._pool is not None and len(unresolved) > 1:
+                trace = tracer.enabled
+                parent = span.context if trace else None
+                futures = [
+                    self._pool.submit(
+                        "certain",
+                        state.boolean,
+                        self._mediator.schema,
+                        configuration,
+                        trace=trace,
+                    )
+                    for state in unresolved
+                ]
+                for state, future in zip(unresolved, futures):
+                    payload = future.result()
+                    if trace:
+                        payload, span_specs = payload
+                        tracer.adopt_spans(span_specs, parent, query=state.index)
+                    verdict = bool(payload[0])
+                    state.oracle.adopt_certainty(configuration, verdict)
+                    state.certain = verdict
+                    self._metrics.incr("server.pool_certainty")
+            else:
+                for state in unresolved:
+                    state.certain = state.oracle.is_certain(configuration)
+            if tracer.enabled:
+                span.annotate(
+                    certain=sum(1 for state in unresolved if state.certain)
                 )
-                for state in unresolved
-            ]
-            for state, future in zip(unresolved, futures):
-                verdict = bool(future.result()[0])
-                state.oracle.adopt_certainty(configuration, verdict)
-                state.certain = verdict
-                self._metrics.incr("server.pool_certainty")
-        else:
-            for state in unresolved:
-                state.certain = state.oracle.is_certain(configuration)
 
     def _guided_rounds(
         self,
@@ -386,100 +441,24 @@ class QueryServer:
         states = self._make_states(queries)
         rounds = 0
         progressed_out = False
+        tracer = current_tracer()
         for _round in range(max_rounds):
             rounds += 1
             self._metrics.incr("server.rounds")
-            configuration = mediator.configuration_view
-            self._resolve_certainty(states, configuration)
-            active = [state for state in states if not state.certain]
-            if not active:
-                return states, rounds, False
-
-            candidates = candidate_accesses(
-                schema, configuration, executor.has_performed_key
-            )
-            # Per query: prefilter + group, then submit every query's fresh
-            # LTR searches before collecting any — with a pool the searches
-            # of different queries overlap across the worker processes.
-            grouped: List[Tuple[_QueryState, List]] = []
-            for state in active:
-                mine = candidates
-                if state.prefilter_ltr:
-                    mine = state.screen.prefilter(mine)
-                elif self._use_immediate and not self._use_long_term:
-                    mine = state.screen.prefilter(mine, immediate_only=True)
-                grouped.append((state, state.screen.group(mine, configuration)))
-            finishers = []
-            if self._use_long_term:
-                for state, groups in grouped:
-                    finishers.append(
-                        state.oracle.begin_prefetch_long_term(
-                            [representative for representative, _m in groups],
-                            configuration,
-                        )
+            round_started = time.perf_counter()
+            # ``try/finally`` so the round histogram also sees the terminal
+            # round, which returns from inside the span.
+            try:
+                with tracer.span("round", index=rounds - 1) as round_span:
+                    result = self._one_guided_round(
+                        states, executor, tracer, round_span
                     )
-            for finish in finishers:
-                finish()
-
-            # Assemble each query's relevant accesses, then union them.
-            wanted: Dict[Tuple[str, Tuple[object, ...]], List[_QueryState]] = {}
-            batch_accesses: List[Access] = []
-            for state, groups in grouped:
-                for representative, members in groups:
-                    state.relevance_checks += 1
-                    if not resolve_group_verdict(
-                        state.oracle,
-                        representative,
-                        members,
-                        configuration,
-                        use_long_term=self._use_long_term,
-                        use_immediate=self._use_immediate,
-                    ):
-                        continue
-                    for access in [representative] + [m for m, _map in members]:
-                        key = access_key(access)
-                        owners = wanted.get(key)
-                        if owners is None:
-                            wanted[key] = [state]
-                            batch_accesses.append(access)
-                        elif state not in owners:
-                            owners.append(state)
-
-            def precheck(access: Access) -> bool:
-                live = mediator.configuration_view
-                keep = False
-                for state in wanted.get(access_key(access), ()):
-                    if state.certain:
-                        continue
-                    state.relevance_checks += 1
-                    if access_is_relevant(
-                        state.oracle,
-                        access,
-                        live,
-                        use_long_term=self._use_long_term,
-                        use_immediate=self._use_immediate,
-                    ):
-                        keep = True
-                return keep
-
-            def stop() -> bool:
-                live = mediator.configuration_view
-                for state in states:
-                    if state.certain:
-                        continue
-                    if not state.oracle.is_certain(live):
-                        return False
-                    state.certain = True
-                return True
-
-            batch = executor.execute_batch(
-                batch_accesses,
-                precheck=precheck,
-                stop=stop,
-                max_concurrency=self._parallelism,
-            )
-            if not batch.progressed:
-                return states, rounds, False
+            finally:
+                self._metrics.observe(
+                    "server.round_latency", time.perf_counter() - round_started
+                )
+            if result is not None:
+                return states, rounds, result[1]
         # Budget ran out while rounds were still progressing: conservatively
         # flag the still-open queries, unless nothing is left to try.
         final = mediator.configuration_view
@@ -493,6 +472,155 @@ class QueryServer:
                 self._metrics.incr("server.rounds_exhausted")
         return states, rounds, progressed_out
 
+    def _one_guided_round(
+        self,
+        states: List[_QueryState],
+        executor: AccessExecutor,
+        tracer: TracerLike,
+        round_span,
+    ) -> Optional[Tuple[bool, bool]]:
+        """One shared round.  Returns ``(done, exhausted)`` when the rounds
+        should stop, ``None`` to continue with the next round."""
+        mediator = self._mediator
+        schema = mediator.schema
+        configuration = mediator.configuration_view
+        self._resolve_certainty(states, configuration)
+        active = [state for state in states if not state.certain]
+        if not active:
+            return (True, False)
+
+        candidates = candidate_accesses(
+            schema, configuration, executor.has_performed_key
+        )
+        if tracer.enabled:
+            round_span.annotate(active=len(active), candidates=len(candidates))
+        # Per query: prefilter + group, then submit every query's fresh
+        # LTR searches before collecting any — with a pool the searches
+        # of different queries overlap across the worker processes.  The
+        # prefetch is submitted inside the query's span so the workers'
+        # shipped span trees re-anchor under it.
+        grouped: List[Tuple[_QueryState, List]] = []
+        finishers = []
+        for state in active:
+            with tracer.span(
+                "query",
+                query=getattr(state.query, "name", None),
+                index=state.index,
+            ) as qspan:
+                mine = candidates
+                if state.prefilter_ltr:
+                    mine = state.screen.prefilter(mine)
+                elif self._use_immediate and not self._use_long_term:
+                    mine = state.screen.prefilter(mine, immediate_only=True)
+                groups = state.screen.group(mine, configuration)
+                grouped.append((state, groups))
+                if self._use_long_term:
+                    finishers.append(
+                        state.oracle.begin_prefetch_long_term(
+                            [representative for representative, _m in groups],
+                            configuration,
+                        )
+                    )
+                state.span_ctx = qspan.context if tracer.enabled else None
+        for finish in finishers:
+            finish()
+
+        # Assemble each query's relevant accesses, then union them.  Under
+        # a tracer every batched access also gets a *why* record — which
+        # queries wanted it and whether its verdict was computed directly
+        # or inherited from its group representative — which the executor
+        # forwards onto the access's ``source-call`` span.
+        wanted: Dict[Tuple[str, Tuple[object, ...]], List[_QueryState]] = {}
+        why: Dict[Tuple[str, Tuple[object, ...]], Dict[str, object]] = {}
+        batch_accesses: List[Access] = []
+        for state, groups in grouped:
+            with tracer.span(
+                "verdicts", parent=state.span_ctx, index=state.index
+            ) as vspan:
+                kept = 0
+                for representative, members in groups:
+                    state.relevance_checks += 1
+                    if not resolve_group_verdict(
+                        state.oracle,
+                        representative,
+                        members,
+                        configuration,
+                        use_long_term=self._use_long_term,
+                        use_immediate=self._use_immediate,
+                    ):
+                        continue
+                    kept += 1
+                    for access in [representative] + [m for m, _map in members]:
+                        key = access_key(access)
+                        owners = wanted.get(key)
+                        if owners is None:
+                            wanted[key] = [state]
+                            batch_accesses.append(access)
+                        elif state not in owners:
+                            owners.append(state)
+                        if tracer.enabled:
+                            entry = why.setdefault(
+                                key,
+                                {
+                                    "why": "relevant",
+                                    "via": (
+                                        "representative"
+                                        if access is representative
+                                        else "automorphism-group"
+                                    ),
+                                    "queries": [],
+                                },
+                            )
+                            entry["queries"].append(state.index)
+                if tracer.enabled:
+                    vspan.annotate(groups=len(groups), relevant=kept)
+
+        def annotate_access(access: Access) -> Optional[Dict[str, object]]:
+            entry = why.get(access_key(access))
+            if entry is None:
+                return None
+            tags = dict(entry)
+            tags["queries"] = ",".join(str(index) for index in entry["queries"])
+            return tags
+
+        def precheck(access: Access) -> bool:
+            live = mediator.configuration_view
+            keep = False
+            for state in wanted.get(access_key(access), ()):
+                if state.certain:
+                    continue
+                state.relevance_checks += 1
+                if access_is_relevant(
+                    state.oracle,
+                    access,
+                    live,
+                    use_long_term=self._use_long_term,
+                    use_immediate=self._use_immediate,
+                ):
+                    keep = True
+            return keep
+
+        def stop() -> bool:
+            live = mediator.configuration_view
+            for state in states:
+                if state.certain:
+                    continue
+                if not state.oracle.is_certain(live):
+                    return False
+                state.certain = True
+            return True
+
+        batch = executor.execute_batch(
+            batch_accesses,
+            precheck=precheck,
+            stop=stop,
+            max_concurrency=self._parallelism,
+            annotate_access=annotate_access if tracer.enabled else None,
+        )
+        if not batch.progressed:
+            return (False, False)
+        return None
+
     def _exhaustive_rounds(
         self,
         queries: Sequence[object],
@@ -503,15 +631,23 @@ class QueryServer:
         schema = mediator.schema
         states = self._make_states(queries)
         rounds = 0
+        tracer = current_tracer()
         for _round in range(max_rounds):
             rounds += 1
             self._metrics.incr("server.rounds")
-            candidates = candidate_accesses(
-                schema, mediator.configuration_view, executor.has_performed_key
-            )
-            batch = executor.execute_batch(
-                candidates, max_concurrency=self._parallelism
-            )
+            round_started = time.perf_counter()
+            try:
+                with tracer.span("round", index=rounds - 1):
+                    candidates = candidate_accesses(
+                        schema, mediator.configuration_view, executor.has_performed_key
+                    )
+                    batch = executor.execute_batch(
+                        candidates, max_concurrency=self._parallelism
+                    )
+            finally:
+                self._metrics.observe(
+                    "server.round_latency", time.perf_counter() - round_started
+                )
             if not batch.progressed:
                 return states, rounds, False
         exhausted = bool(
@@ -529,16 +665,30 @@ class QueryServer:
         """Evaluate every query at the final configuration (pooled when possible)."""
         final = self._mediator.configuration_view
         answer_sets: List[FrozenSet[Tuple[object, ...]]] = []
-        if self._pool is not None and len(states) > 1:
-            futures = [
-                self._pool.submit("answers", state.query, self._mediator.schema, final)
-                for state in states
-            ]
-            for future in futures:
-                answer_sets.append(frozenset(future.result()[0]))
-        else:
-            for state in states:
-                answer_sets.append(certain_answers(state.query, final))
+        tracer = current_tracer()
+        with tracer.span("finalize", queries=len(states)) as span:
+            if self._pool is not None and len(states) > 1:
+                trace = tracer.enabled
+                parent = span.context if trace else None
+                futures = [
+                    self._pool.submit(
+                        "answers",
+                        state.query,
+                        self._mediator.schema,
+                        final,
+                        trace=trace,
+                    )
+                    for state in states
+                ]
+                for state, future in zip(states, futures):
+                    payload = future.result()
+                    if trace:
+                        payload, span_specs = payload
+                        tracer.adopt_spans(span_specs, parent, query=state.index)
+                    answer_sets.append(frozenset(payload[0]))
+            else:
+                for state in states:
+                    answer_sets.append(certain_answers(state.query, final))
         outcomes = []
         for state, answers in zip(states, answer_sets):
             # ``certain`` is monotone, so a flag set during the rounds is

@@ -84,6 +84,17 @@ class LRUCache:
         with self._lock:
             self._entries.pop(key, None)
 
+    def reset_stats(self) -> None:
+        """Zero the hit/miss gauges (entries are kept).
+
+        :meth:`RuntimeMetrics.reset` calls this on registered caches so a
+        post-reset snapshot starts from zero instead of carrying the
+        pre-reset probe history.
+        """
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+
     def stats(self) -> dict:
         """Hit/miss gauges: ``{hits, misses, entries, hit_rate}``.
 
@@ -157,6 +168,11 @@ class ShardedLRUCache:
     def discard(self, key: Hashable) -> None:
         """Drop ``key`` from its shard if present."""
         self._shard(key).discard(key)
+
+    def reset_stats(self) -> None:
+        """Zero every shard's hit/miss gauges (entries are kept)."""
+        for shard in self._shards:
+            shard.reset_stats()
 
     def shard_stats(self) -> List[dict]:
         """Per-shard hit/miss gauges, in shard order."""

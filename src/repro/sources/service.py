@@ -64,6 +64,26 @@ from repro.schema import Access, AccessMethod, Schema
 __all__ = ["DataSource", "Mediator"]
 
 
+def _current_tracer():
+    """The thread's ambient tracer (lazy import: the runtime package imports us).
+
+    Importing :mod:`repro.runtime.tracing` at module level would execute the
+    ``repro.runtime`` package ``__init__`` mid-import of this module, and that
+    package imports :class:`Mediator` back — the same cycle that keeps the
+    ``RuntimeMetrics`` import under ``TYPE_CHECKING`` above.  After the first
+    call this is a cached-function invocation plus one ``sys.modules`` hit.
+    """
+    global _current_tracer_impl
+    if _current_tracer_impl is None:
+        from repro.runtime.tracing import current_tracer
+
+        _current_tracer_impl = current_tracer
+    return _current_tracer_impl()
+
+
+_current_tracer_impl = None
+
+
 class DataSource:
     """A single source: one access method over a hidden instance.
 
@@ -290,6 +310,50 @@ class Mediator:
             self._metrics.incr("mediator.facts_new", new_facts)
         return new_facts
 
+    def _respond_timed(self, access: Access, tracer, parent, tags=None):
+        """Answer ``access``, measuring the round-trip; safe on worker threads.
+
+        Returns ``(response, duration, span)`` where ``span`` is the recorded
+        ``source-call`` span (``None`` when tracing is off) — the caller
+        annotates merge-time facts onto it after the merge.  The per-access
+        latency lands in the ``source.latency`` histogram whether or not
+        tracing is on: percentiles are always-on telemetry, spans are opt-in.
+        """
+        source = self.source_for(access.method.name)
+        start = time.time()
+        t0 = time.perf_counter()
+        response = source.respond(access)
+        duration = time.perf_counter() - t0
+        span = None
+        if tracer.enabled:
+            span_tags = {"method": access.method.name, "facts": len(response)}
+            if tags:
+                span_tags.update(tags)
+            span = tracer.record_span(
+                "source-call",
+                start=start,
+                duration=duration,
+                parent=parent,
+                tags=span_tags,
+            )
+        if self._metrics is not None:
+            self._metrics.observe("source.latency", duration)
+        return response, duration, span
+
+    def _perform_counted_traced(
+        self, access: Access, tracer, parent, tags=None
+    ) -> Tuple[AccessResponse, int, float]:
+        """The :meth:`perform_counted` body with explicit trace plumbing."""
+        if not self.can_perform(access):
+            raise AccessError(
+                f"access {access!r} is not well-formed at the current configuration"
+            )
+        response, duration, span = self._respond_timed(access, tracer, parent, tags)
+        new_facts = self._merge_response(access, response)
+        if span is not None:
+            span.annotate(new_facts=new_facts)
+        return response, new_facts, duration
+
     def perform_counted(self, access: Access) -> Tuple[AccessResponse, int]:
         """Perform a well-formed access; return ``(response, new facts merged)``.
 
@@ -297,12 +361,11 @@ class Mediator:
         already contain — the progress measure the answering strategies use
         (a response full of already-known tuples is not progress).
         """
-        if not self.can_perform(access):
-            raise AccessError(
-                f"access {access!r} is not well-formed at the current configuration"
-            )
-        response = self.source_for(access.method.name).respond(access)
-        new_facts = self._merge_response(access, response)
+        tracer = _current_tracer()
+        parent = tracer.context() if tracer.enabled else None
+        response, new_facts, _duration = self._perform_counted_traced(
+            access, tracer, parent
+        )
         return response, new_facts
 
     def perform(self, access: Access) -> AccessResponse:
@@ -322,6 +385,8 @@ class Mediator:
         stop: Optional[Callable[[], bool]] = None,
         should_perform: Optional[Callable[[Access], bool]] = None,
         on_performed: Optional[Callable[[Access, AccessResponse, int], None]] = None,
+        on_timing: Optional[Callable[[Access, float], None]] = None,
+        tags_for: Optional[Callable[[Access], Optional[Dict[str, object]]]] = None,
     ) -> List[Tuple[Access, AccessResponse, int]]:
         """Perform a batch of accesses, overlapping their source latency.
 
@@ -338,7 +403,17 @@ class Mediator:
         ``on_performed`` is invoked on this thread right after each merge —
         callers tracking which accesses were performed (the executor's
         deduplication set) see every merge even if a later access of the
-        batch fails and the call raises.
+        batch fails and the call raises.  ``on_timing`` likewise runs on this
+        thread after each merge with the access's measured source round-trip,
+        so callers can feed per-access latency histograms.  ``tags_for`` is
+        evaluated at dispatch time (on this thread) and its tags land on the
+        access's ``source-call`` trace span — the hook the executor uses to
+        attach why-was-this-access-performed annotations.
+
+        Tracing note: the tracer active on *this* thread at entry, and its
+        innermost open span, are captured once — worker threads record their
+        ``source-call`` spans against that explicit parent, since
+        thread-locals do not follow work into the pool.
 
         Returns ``(access, response, new facts merged)`` triples in merge
         (completion) order.  With ``max_concurrency <= 1`` the batch runs
@@ -346,6 +421,13 @@ class Mediator:
         """
         pending = deque(accesses)
         performed: List[Tuple[Access, AccessResponse, int]] = []
+        tracer = _current_tracer()
+        batch_parent = tracer.context() if tracer.enabled else None
+
+        def dispatch_tags(access: Access) -> Optional[Dict[str, object]]:
+            if tags_for is None or not tracer.enabled:
+                return None
+            return tags_for(access)
 
         def record(access: Access, response: AccessResponse, new_facts: int) -> None:
             performed.append((access, response, new_facts))
@@ -359,7 +441,11 @@ class Mediator:
                 access = pending.popleft()
                 if should_perform is not None and not should_perform(access):
                     continue
-                response, new_facts = self.perform_counted(access)
+                response, new_facts, duration = self._perform_counted_traced(
+                    access, tracer, batch_parent, dispatch_tags(access)
+                )
+                if on_timing is not None:
+                    on_timing(access, duration)
                 record(access, response, new_facts)
             return performed
 
@@ -386,8 +472,15 @@ class Mediator:
                         )
                         stopped = True
                         break
-                    source = self.source_for(access.method.name)
-                    in_flight[pool.submit(source.respond, access)] = access
+                    in_flight[
+                        pool.submit(
+                            self._respond_timed,
+                            access,
+                            tracer,
+                            batch_parent,
+                            dispatch_tags(access),
+                        )
+                    ] = access
 
             dispatch_more()
             while in_flight:
@@ -395,7 +488,7 @@ class Mediator:
                 for future in done:
                     access = in_flight.pop(future)
                     try:
-                        response = future.result()
+                        response, duration, span = future.result()
                     except BaseException as exc:  # drain remaining in-flight work
                         errors.append(exc)
                         stopped = True
@@ -406,6 +499,10 @@ class Mediator:
                         errors.append(exc)
                         stopped = True
                         continue
+                    if span is not None:
+                        span.annotate(new_facts=new_facts)
+                    if on_timing is not None:
+                        on_timing(access, duration)
                     record(access, response, new_facts)
                 if stop is not None and not stopped and stop():
                     stopped = True
