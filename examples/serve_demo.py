@@ -20,21 +20,36 @@ file plus Prometheus snapshot written to ``REPRO_OBS_DIR`` (defaults to the
 working directory).
 
 Run with:  python examples/serve_demo.py
+
+Two service modes ride along (see docs/operations.md):
+
+* ``--serve [--port 8080]`` starts the network-facing
+  :class:`~repro.runtime.service.AnsweringService` over the same bank
+  workload and serves until interrupted (Ctrl-C drains);
+* ``--service-smoke`` is the CI job body: starts the service on a free
+  port, submits the bank batch over real HTTP, scrapes ``/metrics``, and
+  asserts the served answers equal a direct in-process
+  :meth:`QueryServer.answer` on the same scenario.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import os
 import tempfile
 import time
+import urllib.request
 
 from repro.planner import relevance_guided_strategy
 from repro.runtime import (
+    AdmissionController,
     QueryServer,
     RuntimeMetrics,
     Tracer,
     explain_trace,
     prometheus_text,
+    serve_in_background,
     write_chrome_trace,
 )
 from repro.workloads import bank_multi_query_scenario
@@ -149,5 +164,135 @@ def main() -> None:
             print(f"  ... ({len(lines) - 30} more lines)")
 
 
+def _post_json(url: str, document: dict) -> dict:
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(document).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=120) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def serve(port: int, rate: float, round_budget: int) -> None:
+    """Run the answering service in the foreground until interrupted."""
+    scenario = bank_multi_query_scenario(8, employees=6, offices=3, states=4)
+    server = QueryServer(scenario.mediator(), metrics=RuntimeMetrics())
+    admission = AdmissionController(
+        rate=rate if rate > 0 else None,
+        round_budget=round_budget if round_budget > 0 else None,
+        pool=server.pool,
+        metrics=server.metrics,
+    )
+    handle = serve_in_background(server, port=port, admission=admission)
+    print(f"Answering service listening on {handle.base_url}")
+    print("Example queries over this schema:")
+    for query in scenario.queries[:2]:
+        print("  ", query)
+    print()
+    print("Submit one and wait:")
+    print(
+        f"  curl -s -X POST '{handle.base_url}/queries?wait=1' "
+        f"-d '{{\"query\": \"{scenario.queries[0]}\"}}'"
+    )
+    print(f"Metrics:  curl -s {handle.base_url}/metrics")
+    print("Ctrl-C drains and exits.")
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("\nDraining...")
+    finally:
+        handle.shutdown()
+        server.close()
+    print("Shut down cleanly.")
+
+
+def service_smoke() -> None:
+    """The CI service smoke: HTTP answers ≡ direct answers, /metrics parses."""
+    scenario = bank_multi_query_scenario(6, employees=5, offices=3, states=3)
+    direct = QueryServer(scenario.mediator()).answer(scenario.queries)
+    expected = [
+        {
+            "boolean": outcome.boolean_answer,
+            "answers": json.loads(
+                json.dumps(
+                    [list(row) for row in sorted(outcome.answers, key=repr)],
+                    default=str,
+                )
+            ),
+        }
+        for outcome in direct.outcomes
+    ]
+
+    server = QueryServer(scenario.mediator(), metrics=RuntimeMetrics())
+    handle = serve_in_background(server)
+    try:
+        document = _post_json(
+            f"{handle.base_url}/queries?wait=1",
+            {"queries": [str(q) for q in scenario.queries], "client": "smoke"},
+        )
+        served = document["queries"]
+        assert len(served) == len(expected), "served count mismatch"
+        for record, reference in zip(served, expected):
+            assert record["state"] == "done", record
+            assert record["outcome"]["boolean"] == reference["boolean"], record
+            assert record["outcome"]["answers"] == reference["answers"], record
+        print(f"HTTP answers match direct answers for {len(served)} queries")
+
+        with urllib.request.urlopen(
+            f"{handle.base_url}/metrics", timeout=30
+        ) as response:
+            assert response.status == 200
+            text = response.read().decode("utf-8")
+        families = {
+            line.split(" ")[2]
+            for line in text.splitlines()
+            if line.startswith("# TYPE ")
+        }
+        for family in (
+            "repro_service_http_requests_total",
+            "repro_admission_accepted_total",
+            "repro_service_queue_depth",
+            "repro_server_query_latency_seconds",
+        ):
+            assert family in families, f"missing metric family {family}"
+        print(f"/metrics exposition OK ({len(families)} families)")
+    finally:
+        handle.shutdown()
+        server.close()
+    print("service smoke PASSED")
+
+
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--serve", action="store_true", help="run the HTTP answering service"
+    )
+    parser.add_argument(
+        "--service-smoke",
+        action="store_true",
+        help="start the service, answer the bank batch over HTTP, assert "
+        "equivalence with the in-process server (the CI smoke)",
+    )
+    parser.add_argument("--port", type=int, default=8080, help="--serve port")
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=0.0,
+        help="--serve per-client rate limit in queries/second (0 = off)",
+    )
+    parser.add_argument(
+        "--round-budget",
+        type=int,
+        default=0,
+        help="--serve per-query round fairness budget (0 = off)",
+    )
+    arguments = parser.parse_args()
+    if arguments.service_smoke:
+        service_smoke()
+    elif arguments.serve:
+        serve(arguments.port, arguments.rate, arguments.round_budget)
+    else:
+        main()

@@ -39,7 +39,12 @@ _TOKEN_PATTERN = re.compile(
         "[^"]*"                |   # double-quoted constant
         -?\d+\.\d+             |   # float literal
         -?\d+                  |   # integer literal
-        [A-Za-z_][A-Za-z_0-9]*     # identifier
+        [A-Za-z_][A-Za-z_0-9-]*    # identifier (hyphens allowed after the
+                                   # first character, so generated query
+                                   # names like ``bank0-Illinois-30yr``
+                                   # round-trip through str() and back —
+                                   # the network service parses submitted
+                                   # query text with this grammar)
     )
     """,
     re.VERBOSE,

@@ -38,9 +38,21 @@ needs around the paper's decision procedures:
   off by default via an ambient no-op tracer, propagated across the thread
   pool and re-anchored across the process-pool wire;
 * :mod:`~repro.runtime.export` — Prometheus text, JSON snapshot, and
-  Chrome-trace (Perfetto) exporters plus the per-query ``explain`` report.
+  Chrome-trace (Perfetto) exporters plus the per-query ``explain`` report;
+* :class:`~repro.runtime.service.AnsweringService` — the network-facing
+  HTTP front end: query submission over the wire, coalesced shared rounds,
+  outcome streaming/polling, ``/metrics`` and per-query trace endpoints;
+* :class:`~repro.runtime.admission.AdmissionController` — the service's
+  per-client token-bucket rate limits, in-flight quotas, queue/pool
+  backpressure (429/503 + ``Retry-After``), and round/access fairness
+  budgets.
 """
 
+from repro.runtime.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    TokenBucket,
+)
 from repro.runtime.cache import LRUCache, RelevanceOracle, access_key
 from repro.runtime.executor import AccessExecutor, BatchResult
 from repro.runtime.export import (
@@ -55,6 +67,7 @@ from repro.runtime.persist import PersistentWitnessCache
 from repro.runtime.procpool import ProcessRelevancePool, default_search_workers
 from repro.runtime.screening import CandidateScreen, relevant_relation_closure
 from repro.runtime.server import MultiQueryMediator, QueryOutcome, QueryServer, ServerResult
+from repro.runtime.service import AnsweringService, ServiceHandle, serve_in_background
 from repro.runtime.shards import ShardedLRUCache, SharedVerdictStore
 from repro.runtime.tracing import (
     NO_TRACER,
@@ -74,6 +87,9 @@ from repro.runtime.witness import (
 
 __all__ = [
     "AccessExecutor",
+    "AdmissionController",
+    "AdmissionDecision",
+    "AnsweringService",
     "BatchResult",
     "CandidateScreen",
     "ConfigurationSnapshot",
@@ -90,10 +106,12 @@ __all__ = [
     "RelevanceOracle",
     "RuntimeMetrics",
     "ServerResult",
+    "ServiceHandle",
     "ShardedLRUCache",
     "SharedVerdictStore",
     "Span",
     "SpanContext",
+    "TokenBucket",
     "Tracer",
     "access_key",
     "activate_tracer",
@@ -106,5 +124,6 @@ __all__ = [
     "json_snapshot",
     "prometheus_text",
     "relevant_relation_closure",
+    "serve_in_background",
     "write_chrome_trace",
 ]

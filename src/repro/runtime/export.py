@@ -5,11 +5,13 @@ this module renders.  Four output shapes, each targeting a different
 consumer:
 
 * :func:`prometheus_text` — the Prometheus text exposition format.  This is
-  the payload the ROADMAP's planned network-facing ``/metrics`` endpoint
-  will serve: counters become ``_total`` counters, cumulative timers become
-  ``_seconds_total`` / ``_calls_total`` pairs, latency histograms become
-  classic ``le``-bucketed histogram families, and registered cache gauges
-  become labelled ``cache_hits`` / ``cache_misses`` / ``cache_entries``.
+  the payload the network-facing ``/metrics`` endpoint of
+  :mod:`repro.runtime.service` serves verbatim: counters become ``_total``
+  counters, runtime gauges (queue depth, in-flight queries, admission
+  state) become plain gauges, cumulative timers become ``_seconds_total``
+  / ``_calls_total`` pairs, latency histograms become classic
+  ``le``-bucketed histogram families, and registered cache gauges become
+  labelled ``cache_hits`` / ``cache_misses`` / ``cache_entries``.
 * :func:`json_snapshot` — the :meth:`RuntimeMetrics.snapshot` dict (plus,
   optionally, the encoded span list) as a JSON document, for ad-hoc
   scripting and the bench artifacts.
@@ -74,6 +76,12 @@ def prometheus_text(metrics: RuntimeMetrics) -> str:
         metric = _metric_name(name, "_total")
         lines.append(f"# HELP {metric} Runtime counter {name!r}.")
         lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+
+    for name, value in sorted(snap.get("gauges", {}).items()):
+        metric = _metric_name(name)
+        lines.append(f"# HELP {metric} Runtime gauge {name!r}.")
+        lines.append(f"# TYPE {metric} gauge")
         lines.append(f"{metric} {_format_value(value)}")
 
     timer_calls = snap["timer_calls"]

@@ -157,10 +157,20 @@ class LatencyHistogram:
 
 
 class RuntimeMetrics:
-    """A thread-safe bag of named counters, cumulative timers, and gauges."""
+    """A thread-safe bag of named counters, timers, gauges, and histograms.
+
+    Counters only go up (:meth:`incr`); gauges are set to the current value
+    of something (:meth:`set_gauge` — queue depth, in-flight queries, tokens
+    left in a rate bucket) and may go down again; timers accumulate
+    wall-clock; histograms record latency samples.  The admission layer of
+    the network service is the main gauge writer: ``service.queue_depth``
+    and ``service.inflight_queries`` are what an operator watches to tell
+    "busy" from "about to shed load".
+    """
 
     def __init__(self) -> None:
         self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
         self._timers: Dict[str, float] = {}
         self._timer_calls: Dict[str, int] = {}
         self._histograms: Dict[str, LatencyHistogram] = {}
@@ -184,6 +194,19 @@ class RuntimeMetrics:
         """Current value of counter ``name`` (0 if never incremented)."""
         with self._lock:
             return self._counters.get(name, 0)
+
+    # ------------------------------------------------------------------ #
+    # Gauges
+    # ------------------------------------------------------------------ #
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def gauge(self, name: str) -> Optional[float]:
+        """Current value of gauge ``name`` (``None`` if never set)."""
+        with self._lock:
+            return self._gauges.get(name)
 
     # ------------------------------------------------------------------ #
     # Timers
@@ -291,6 +314,7 @@ class RuntimeMetrics:
             histograms = dict(self._histograms)
             snap: Dict[str, object] = {
                 "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
                 "timers": dict(self._timers),
                 "timer_calls": dict(self._timer_calls),
                 "timer_means": {
@@ -320,6 +344,7 @@ class RuntimeMetrics:
         """
         with self._lock:
             self._counters.clear()
+            self._gauges.clear()
             self._timers.clear()
             self._timer_calls.clear()
             self._histograms.clear()

@@ -39,6 +39,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import threading
 from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -241,6 +242,13 @@ class ProcessRelevancePool:
         # a recycled id can never alias a dead object to a stale token.
         self._tokens: Dict[int, Tuple[object, str]] = {}
         self._max_memoized = 64
+        # In-flight task accounting: incremented on submission, decremented
+        # by the future's done callback.  This is what the admission layer
+        # of the network service polls to tell "workers busy" (fine) from
+        # "backlog growing beyond what the workers can start on" (shed
+        # load with 503 + Retry-After rather than queueing unboundedly).
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -249,6 +257,41 @@ class ProcessRelevancePool:
     def workers(self) -> int:
         """The configured number of worker processes."""
         return self._workers
+
+    @property
+    def inflight(self) -> int:
+        """Tasks submitted but not yet finished (queued + running)."""
+        with self._inflight_lock:
+            return self._inflight
+
+    def saturated(self, *, backlog_factor: float = 2.0) -> bool:
+        """Whether the pool's backlog exceeds what its workers can absorb.
+
+        ``True`` once more than ``workers × backlog_factor`` tasks are in
+        flight — i.e. every worker is busy *and* a queue at least as deep
+        again is waiting behind them.  The network service's admission
+        controller uses this as its load-shedding signal; a merely-busy
+        pool (≤ one task per worker) is never reported saturated.
+        """
+        return self.inflight > self._workers * backlog_factor
+
+    def _submit_task(self, task: Tuple) -> Future:
+        """Submit one encoded task with in-flight accounting."""
+        executor = self._ensure_executor()
+        with self._inflight_lock:
+            self._inflight += 1
+        try:
+            future = executor.submit(_run_search_task, task)
+        except BaseException:
+            with self._inflight_lock:
+                self._inflight -= 1
+            raise
+        future.add_done_callback(self._task_done)
+        return future
+
+    def _task_done(self, _future: Future) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
 
     def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
@@ -359,7 +402,7 @@ class ProcessRelevancePool:
             options,
             trace,
         )
-        return self._ensure_executor().submit(_run_search_task, task)
+        return self._submit_task(task)
 
     def submit_ltr_many(
         self,
@@ -418,7 +461,6 @@ class ProcessRelevancePool:
         stoken, schema_bytes = self._schema_payload(schema)
         qtoken, query_bytes = self._query_payload(query)
         ctoken, config_bytes = self._configuration_payload(configuration, stoken)
-        executor = self._ensure_executor()
         chunks: List[Tuple[List[Access], Future, bool, Optional[SpanContext]]] = []
         for start in range(0, len(accesses), chunk_size):
             chunk = list(accesses[start : start + chunk_size])
@@ -435,7 +477,7 @@ class ProcessRelevancePool:
                 options,
                 trace,
             )
-            chunks.append((chunk, executor.submit(_run_search_task, task), trace, parent))
+            chunks.append((chunk, self._submit_task(task), trace, parent))
         return chunks
 
     def ltr_chunk_results(

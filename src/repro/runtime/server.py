@@ -77,13 +77,26 @@ __all__ = ["MultiQueryMediator", "QueryOutcome", "QueryServer", "ServerResult"]
 
 @dataclass(frozen=True)
 class QueryOutcome:
-    """Per-query outcome of one :meth:`QueryServer.answer` call."""
+    """Per-query outcome of one :meth:`QueryServer.answer` call.
+
+    ``rounds_exhausted`` is set when this query's strategy was cut off
+    before reaching certainty — by the call's global ``max_rounds`` or by
+    the query's own round/access budget.  The answer set is still the sound
+    certain answers at the final configuration (and ``certain`` may even be
+    ``True`` if *other* queries' retrieval happened to settle this one).
+    ``rounds_used`` counts the shared rounds in which this query actively
+    screened candidates, and ``accesses_charged`` the accesses its own
+    relevance verdicts asked the batch to perform — the per-query
+    accounting a fairness policy meters budgets against.
+    """
 
     query: object
     answers: FrozenSet[Tuple[object, ...]]
     certain: bool
     relevance_checks: int = 0
     rounds_exhausted: bool = False
+    rounds_used: int = 0
+    accesses_charged: int = 0
 
     @property
     def boolean_answer(self) -> bool:
@@ -130,6 +143,10 @@ class _QueryState:
         "exhausted",
         "index",
         "span_ctx",
+        "round_budget",
+        "access_budget",
+        "rounds_used",
+        "accesses_charged",
     )
 
     def __init__(self, query, boolean, oracle, screen, prefilter_ltr, index) -> None:
@@ -148,6 +165,22 @@ class _QueryState:
         #: round (verdict resolution, pooled prefetch adoption) re-anchor
         #: their spans under the span that screened the query's candidates.
         self.span_ctx = None
+        #: Fairness budgets (``None`` = unlimited) and the accounting they
+        #: are metered against: rounds this query actively participated in,
+        #: and accesses its relevance verdicts asked the batch to perform.
+        self.round_budget = None
+        self.access_budget = None
+        self.rounds_used = 0
+        self.accesses_charged = 0
+
+    def over_budget(self) -> bool:
+        """Whether either fairness budget is spent."""
+        if self.round_budget is not None and self.rounds_used >= self.round_budget:
+            return True
+        return (
+            self.access_budget is not None
+            and self.accesses_charged >= self.access_budget
+        )
 
 
 class QueryServer:
@@ -304,6 +337,8 @@ class QueryServer:
         *,
         max_rounds: int = 50,
         strategy: str = "guided",
+        round_budgets: Optional[Sequence[Optional[int]]] = None,
+        access_budgets: Optional[Sequence[Optional[int]]] = None,
     ) -> ServerResult:
         """Answer a batch of queries over the shared configuration.
 
@@ -312,10 +347,29 @@ class QueryServer:
         accessible part once (every well-formed access to a fixpoint) and
         then evaluates all queries against it — the Li [18] baseline, here
         paying its retrieval cost once for the whole batch.
+
+        ``round_budgets`` / ``access_budgets`` (guided strategy only) give
+        each query, positionally, a private fairness budget: once a query
+        has participated in that many shared rounds — or asked the batch to
+        perform that many accesses — it is retired from the rounds with
+        ``rounds_exhausted=True`` while the *other* queries' rounds
+        continue.  This is how the network service stops one dominating
+        query of a coalesced batch from starving the rest: the dominating
+        query spends its budget and retires; everyone else keeps answering.
+        ``None`` entries (and ``None`` budgets) mean unlimited.
         """
         if strategy not in ("guided", "exhaustive"):
             raise QueryError(f"unknown answering strategy {strategy!r}")
         queries = list(queries)
+        for name, budgets in (
+            ("round_budgets", round_budgets),
+            ("access_budgets", access_budgets),
+        ):
+            if budgets is not None and len(budgets) != len(queries):
+                raise QueryError(
+                    f"{name} must align with queries "
+                    f"({len(budgets)} budgets for {len(queries)} queries)"
+                )
         if not queries:
             return ServerResult((), 0, 0, 0)
         executor = self._executor
@@ -331,7 +385,11 @@ class QueryServer:
                     )
                 else:
                     states, rounds, exhausted = self._guided_rounds(
-                        queries, executor, max_rounds
+                        queries,
+                        executor,
+                        max_rounds,
+                        round_budgets=round_budgets,
+                        access_budgets=access_budgets,
                     )
                 outcomes = self._finalize(states)
                 result = ServerResult(
@@ -354,7 +412,12 @@ class QueryServer:
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
-    def _make_states(self, queries: Sequence[object]) -> List[_QueryState]:
+    def _make_states(
+        self,
+        queries: Sequence[object],
+        round_budgets: Optional[Sequence[Optional[int]]] = None,
+        access_budgets: Optional[Sequence[Optional[int]]] = None,
+    ) -> List[_QueryState]:
         states: List[_QueryState] = []
         schema = self._mediator.schema
         for index, query in enumerate(queries):
@@ -376,9 +439,12 @@ class QueryServer:
                 "independent",
                 "single-occurrence",
             )
-            states.append(
-                _QueryState(query, boolean, oracle, screen, prefilter_ltr, index)
-            )
+            state = _QueryState(query, boolean, oracle, screen, prefilter_ltr, index)
+            if round_budgets is not None:
+                state.round_budget = round_budgets[index]
+            if access_budgets is not None:
+                state.access_budget = access_budgets[index]
+            states.append(state)
         return states
 
     def _resolve_certainty(
@@ -435,10 +501,12 @@ class QueryServer:
         queries: Sequence[object],
         executor: AccessExecutor,
         max_rounds: int,
+        round_budgets: Optional[Sequence[Optional[int]]] = None,
+        access_budgets: Optional[Sequence[Optional[int]]] = None,
     ) -> Tuple[List[_QueryState], int, bool]:
         mediator = self._mediator
         schema = mediator.schema
-        states = self._make_states(queries)
+        states = self._make_states(queries, round_budgets, access_budgets)
         rounds = 0
         progressed_out = False
         tracer = current_tracer()
@@ -458,7 +526,10 @@ class QueryServer:
                     "server.round_latency", time.perf_counter() - round_started
                 )
             if result is not None:
-                return states, rounds, result[1]
+                exhausted_any = result[1] or any(
+                    state.exhausted for state in states
+                )
+                return states, rounds, exhausted_any
         # Budget ran out while rounds were still progressing: conservatively
         # flag the still-open queries, unless nothing is left to try.
         final = mediator.configuration_view
@@ -470,7 +541,7 @@ class QueryServer:
                     progressed_out = True
             if progressed_out:
                 self._metrics.incr("server.rounds_exhausted")
-        return states, rounds, progressed_out
+        return states, rounds, progressed_out or any(s.exhausted for s in states)
 
     def _one_guided_round(
         self,
@@ -484,10 +555,25 @@ class QueryServer:
         mediator = self._mediator
         schema = mediator.schema
         configuration = mediator.configuration_view
-        self._resolve_certainty(states, configuration)
-        active = [state for state in states if not state.certain]
+        self._resolve_certainty(
+            [state for state in states if not state.exhausted], configuration
+        )
+        # Budget enforcement: a query whose round/access budget is spent is
+        # retired from the shared rounds (its outcome flags
+        # ``rounds_exhausted``) — the batch keeps answering everyone else.
+        for state in states:
+            if state.certain or state.exhausted:
+                continue
+            if state.over_budget():
+                state.exhausted = True
+                self._metrics.incr("server.budget_exhausted")
+        active = [
+            state for state in states if not state.certain and not state.exhausted
+        ]
         if not active:
-            return (True, False)
+            return (True, any(state.exhausted for state in states))
+        for state in active:
+            state.rounds_used += 1
 
         candidates = candidate_accesses(
             schema, configuration, executor.has_performed_key
@@ -556,8 +642,10 @@ class QueryServer:
                         if owners is None:
                             wanted[key] = [state]
                             batch_accesses.append(access)
+                            state.accesses_charged += 1
                         elif state not in owners:
                             owners.append(state)
+                            state.accesses_charged += 1
                         if tracer.enabled:
                             entry = why.setdefault(
                                 key,
@@ -603,7 +691,10 @@ class QueryServer:
         def stop() -> bool:
             live = mediator.configuration_view
             for state in states:
-                if state.certain:
+                # Retired (budget-exhausted) queries must not keep the
+                # batch alive: the rounds stop once every *live* query is
+                # certain, whatever the retired ones still lack.
+                if state.certain or state.exhausted:
                     continue
                 if not state.oracle.is_certain(live):
                     return False
@@ -703,6 +794,8 @@ class QueryServer:
                     certain=certain,
                     relevance_checks=state.relevance_checks,
                     rounds_exhausted=state.exhausted,
+                    rounds_used=state.rounds_used,
+                    accesses_charged=state.accesses_charged,
                 )
             )
         return tuple(outcomes)

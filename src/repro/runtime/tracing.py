@@ -175,9 +175,11 @@ class NullTracer:
     def span(
         self, name: str, *, parent: Optional[SpanContext] = None, **tags: object
     ) -> _NullSpan:
+        """Return the shared no-op span (records nothing)."""
         return _NULL_SPAN
 
     def context(self) -> Optional[SpanContext]:
+        """No current span: always ``None``."""
         return None
 
     def record_span(
@@ -189,6 +191,7 @@ class NullTracer:
         parent: Optional[SpanContext] = None,
         tags: Optional[Dict[str, object]] = None,
     ) -> _NullSpan:
+        """Discard the pre-timed span; returns the shared no-op span."""
         return _NULL_SPAN
 
     def adopt_spans(
@@ -197,12 +200,15 @@ class NullTracer:
         parent: Optional[SpanContext],
         **extra_tags: object,
     ) -> List["Span"]:
+        """Discard wire-encoded spans from workers; returns no spans."""
         return []
 
     def spans(self) -> List["Span"]:
+        """Nothing was recorded: always an empty list."""
         return []
 
     def reset(self) -> None:
+        """Nothing to clear; present for :class:`Tracer` interchangeability."""
         pass
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Check the documentation's relative links and anchors (stdlib only).
+
+Scans ``README.md`` and every ``docs/*.md`` for Markdown links:
+
+* **relative file links** must point at a file or directory that exists in
+  the repository (external ``http(s):``/``mailto:`` links are skipped — CI
+  must not flake on the network);
+* **anchor links** (``file.md#section`` or bare ``#section``) must match a
+  heading in the target file, using GitHub's slugification (lowercase,
+  spaces to dashes, punctuation dropped);
+* **code references** of the form ```` `path/to/file.py` ```` in the
+  checked files are validated when they look like repository paths.
+
+Exit status 0 when everything resolves; 1 with one line per broken link.
+
+Run from the repository root:  python tools/check_docs_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_PATH = re.compile(r"`((?:src|docs|tests|tools|examples|benchmarks)/[A-Za-z0-9_./-]+)`")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading → anchor slugification (close enough for ASCII docs)."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    slugs = set()
+    counts = {}
+    for match in HEADING.finditer(path.read_text(encoding="utf-8")):
+        slug = github_slug(match.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_file(doc: Path, root: Path) -> List[Tuple[Path, str, str]]:
+    problems = []
+    text = doc.read_text(encoding="utf-8")
+    for match in LINK.finditer(text):
+        target = match.group(0)[match.group(0).index("(") + 1 : -1]
+        if target.startswith(EXTERNAL):
+            continue
+        path_part, _, anchor = target.partition("#")
+        if path_part:
+            resolved = (doc.parent / path_part).resolve()
+            if not resolved.exists():
+                problems.append((doc, target, "file does not exist"))
+                continue
+        else:
+            resolved = doc
+        if anchor:
+            if resolved.suffix != ".md":
+                continue
+            if anchor not in anchors_of(resolved):
+                problems.append((doc, target, f"no heading for #{anchor}"))
+    for match in CODE_PATH.finditer(text):
+        candidate = match.group(1).rstrip("/")
+        if not (root / candidate).exists():
+            problems.append((doc, f"`{candidate}`", "referenced path missing"))
+    return problems
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    documents = [root / "README.md"] + sorted((root / "docs").glob("*.md"))
+    problems = []
+    for doc in documents:
+        if doc.exists():
+            problems.extend(check_file(doc, root))
+    for doc, target, why in problems:
+        print(f"{doc.relative_to(root)}: broken link {target!r}: {why}")
+    checked = ", ".join(str(d.relative_to(root)) for d in documents if d.exists())
+    if problems:
+        print(f"{len(problems)} broken link(s) across {checked}")
+        return 1
+    print(f"all links OK in {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
