@@ -112,6 +112,66 @@ def test_incremental_reuse_on_bank(benchmark):
     benchmark.extra_info.update(counts)
 
 
+@pytest.mark.experiment("INC-certainty-delta")
+def test_certainty_delta_guided_bank(benchmark):
+    """Acceptance gate for the delta-driven certainty engine: on the guided
+    bank run, advancing the per-query fixpoint by each batch's facts must
+    cut the total ``is_certain`` evaluation time (the ``oracle.certain``
+    timer) at least 3× against the fingerprint-memo baseline
+    (``certainty_fixpoint=False`` — LRU hits on repeated fingerprints, a
+    from-scratch evaluation at every new one), with identical answers, and
+    the delta path must actually fire (``certainty.advanced`` > 0)."""
+    if _smoke():
+        bank = build_bank_scenario(
+            employees=3, offices=2, states=2, known_employees=1
+        )
+    else:
+        bank = build_bank_scenario(
+            employees=6, offices=3, states=3, known_employees=2
+        )
+
+    def run_guided(certainty_fixpoint: bool):
+        metrics = RuntimeMetrics()
+        oracle = RelevanceOracle(
+            bank.query,
+            bank.schema,
+            metrics=metrics,
+            certainty_fixpoint=certainty_fixpoint,
+        )
+        result = relevance_guided_strategy(
+            bank.mediator(), bank.query, oracle=oracle
+        )
+        return result, metrics
+
+    baseline_result, baseline_metrics = run_guided(False)
+    baseline_certain_s = baseline_metrics.elapsed("oracle.certain")
+
+    result, metrics = benchmark.pedantic(
+        lambda: run_guided(True), rounds=1, iterations=1
+    )
+    assert result.boolean_answer == baseline_result.boolean_answer
+    assert result.answers == baseline_result.answers
+
+    counters = metrics.snapshot()["counters"]
+    assert counters.get("certainty.advanced", 0) > 0, counters
+    delta_certain_s = max(metrics.elapsed("oracle.certain"), 1e-9)
+    ratio = baseline_certain_s / delta_certain_s
+    assert ratio >= 3.0, (
+        f"delta-driven certainty only {ratio:.1f}x faster "
+        f"({baseline_certain_s * 1000:.2f}ms -> {delta_certain_s * 1000:.2f}ms)"
+    )
+    benchmark.extra_info.update(
+        {
+            "baseline_certain_ms": round(baseline_certain_s * 1000, 3),
+            "delta_certain_ms": round(delta_certain_s * 1000, 3),
+            "certain_speedup": round(ratio, 1),
+            "advanced": counters.get("certainty.advanced", 0),
+            "restarted": counters.get("certainty.restarted", 0),
+            "exact": counters.get("certainty.exact", 0),
+        }
+    )
+
+
 # --------------------------------------------------------------------------- #
 # Experiment PAR-latency: the parallel answering runtime under source latency
 # --------------------------------------------------------------------------- #

@@ -24,7 +24,9 @@ cross-checked against the direct search in the test suite.
 from __future__ import annotations
 
 import itertools
-from typing import List, Optional, Sequence, Tuple
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.data import (
     AccessPath,
@@ -48,6 +50,8 @@ from repro.core.reductions import ltr_to_containment
 from repro.schema import Access, Schema
 
 __all__ = [
+    "ContainmentMemo",
+    "containment_cq_memo",
     "is_ltr_direct",
     "find_ltr_witness_steps",
     "is_ltr_via_containment_cq",
@@ -189,9 +193,9 @@ def find_ltr_witness_steps(
             ):
                 steps = (first_response,) + tuple(plan.path.steps)
                 full_path = AccessPath(configuration, list(steps))
-                truncated = full_path.truncation_final_configuration()
-                if not evaluate_boolean(query, truncated):
-                    return steps
+                with full_path.truncation_view() as truncated:
+                    if not evaluate_boolean(query, truncated):
+                        return steps
 
     return _ltr_via_generic_response(
         query, access, configuration, schema, options, max_assignments
@@ -322,9 +326,9 @@ def _ltr_via_generic_response(
             ):
                 steps = (first_response,) + tuple(plan.path.steps)
                 full_path = AccessPath(configuration, list(steps))
-                truncated = full_path.truncation_final_configuration()
-                if not evaluate_boolean(query, truncated):
-                    return steps
+                with full_path.truncation_view() as truncated:
+                    if not evaluate_boolean(query, truncated):
+                        return steps
     return None
 
 
@@ -337,6 +341,81 @@ def _compatible_with_access(atom, access: Access) -> bool:
         if not is_variable(term) and term != bound_value:
             return False
     return True
+
+
+class ContainmentMemo:
+    """Bounded LRU memo of Proposition 3.5 verdicts, shared across calls.
+
+    Every :func:`is_ltr_via_containment_cq` verdict is a pure function of the
+    query's canonical form, the probed access (method name and binding), the
+    configuration's fingerprint, the schema's relations and access methods
+    (value tuples of frozen objects, so a rebuilt-but-equal schema shares
+    entries), and the containment options.  One subset loop can issue dozens
+    of containment-oracle calls, so repeated probes — the same access screened
+    at an unchanged configuration across rounds, or structurally identical
+    bindings — pay for the search once.
+
+    Thread-safe; the process-pool relevance workers each hold their own
+    process-local instance.  :meth:`stats` follows the
+    :meth:`~repro.runtime.metrics.RuntimeMetrics.register_cache` protocol so
+    the hit/miss counters surface in metrics snapshots.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        self._entries: "OrderedDict[Tuple[object, ...], bool]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._max_entries = max_entries
+        self._hits = 0
+        self._misses = 0
+
+    def lookup(self, key: Tuple[object, ...]) -> Optional[bool]:
+        """The memoized verdict, or ``None`` on a miss (counted)."""
+        with self._lock:
+            try:
+                verdict = self._entries[key]
+            except KeyError:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return verdict
+
+    def store(self, key: Tuple[object, ...], verdict: bool) -> None:
+        """Record a verdict, evicting least-recently-used entries if full."""
+        with self._lock:
+            self._entries[key] = verdict
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept; see :meth:`reset_stats`)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            total = self._hits + self._misses
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "entries": len(self._entries),
+                "max_entries": self._max_entries,
+                "hit_rate": self._hits / total if total else 0.0,
+            }
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self._hits = 0
+            self._misses = 0
+
+
+_CONTAINMENT_CQ_MEMO = ContainmentMemo()
+
+
+def containment_cq_memo() -> ContainmentMemo:
+    """The process-wide memo behind :func:`is_ltr_via_containment_cq`."""
+    return _CONTAINMENT_CQ_MEMO
 
 
 def is_ltr_via_containment_cq(
@@ -353,6 +432,10 @@ def is_ltr_via_containment_cq(
     ``Q2``; the access is long-term relevant iff, for some proper subset
     ``Q1' ⊊ Q1``, the query ``Q1' ∧ Q2`` is *not* contained in ``Q`` under
     access limitations starting from the configuration.
+
+    Verdicts are memoized in :func:`containment_cq_memo`, keyed by the
+    canonical forms of every input the verdict depends on; the validation
+    errors above the key construction are never cached.
     """
     if not isinstance(query, ConjunctiveQuery):
         raise QueryError("Proposition 3.5 applies to conjunctive queries")
@@ -361,6 +444,33 @@ def is_ltr_via_containment_cq(
     if not is_well_formed(access, configuration):
         return False
 
+    memo = _CONTAINMENT_CQ_MEMO
+    key = (
+        query.canonical_form(),
+        access.method.name,
+        tuple(access.binding),
+        configuration.fingerprint(),
+        tuple(schema.relations),
+        tuple(schema.access_methods),
+        options,
+    )
+    cached = memo.lookup(key)
+    if cached is not None:
+        return cached
+    verdict = _ltr_via_containment_cq_search(
+        query, access, configuration, schema, options
+    )
+    memo.store(key, verdict)
+    return verdict
+
+
+def _ltr_via_containment_cq_search(
+    query: ConjunctiveQuery,
+    access: Access,
+    configuration: Configuration,
+    schema: Schema,
+    options: Optional[ContainmentOptions],
+) -> bool:
     # Partition by occurrence *index*, not by atom equality: a query may
     # repeat a subgoal, and the membership split ``atom not in compatible``
     # silently moves every equal copy to the compatible side, conflating

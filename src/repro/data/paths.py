@@ -17,6 +17,7 @@ This module implements the operational semantics of accesses:
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -239,25 +240,58 @@ class AccessPath:
             current = apply_access(current, response, check_well_formed=False)
         return truncated
 
-    def truncation_final_configuration(self) -> Configuration:
-        """The configuration reached at the end of the truncated path.
+    @contextmanager
+    def truncation_view(self) -> Iterator[Configuration]:
+        """The truncated path's final configuration, as a zero-copy view.
 
-        Semantically ``self.truncation().final_configuration()``, computed in
-        a single pass over one working copy instead of one configuration copy
-        per step.  This is the *only* implementation of the truncation-replay
-        semantics: the fresh witness search and the incremental
-        :meth:`~repro.runtime.witness.LtrWitness.revalidate` both call it, so
+        Replays the truncation semantics *in place* on ``self.initial`` with
+        an undo log (the crayfish-chase pattern): facts actually added are
+        recorded and removed again, in reverse order, when the ``with`` block
+        exits — :meth:`~repro.data.instance.Instance.remove` exactly reverses
+        :meth:`~repro.data.instance.Instance.add`, so the configuration's
+        content, fingerprint, indexes, and cached views are restored even on
+        an exception.  O(|path|) in steps *and* allocations: no configuration
+        copy is taken.
+
+        The yielded object IS ``self.initial`` (temporarily grown); callers
+        must finish reading it inside the block and must not let it escape.
+        Mutating a live configuration view is safe on the strategy's
+        dispatching thread — merges and relevance checks are serialized there
+        (see the mediator's concurrency notes) — which is where every witness
+        search and revalidation runs.
+
+        This is the *only* implementation of the truncation-replay semantics:
+        the fresh witness search and the incremental
+        :meth:`~repro.runtime.witness.LtrWitness.revalidate` both use it, so
         the two engines cannot drift on how an ill-formed step truncates the
         path (the longest well-formed prefix is kept; everything after the
         first ill-formed step is dropped, even steps that do not depend on
         the probed access).
         """
-        current = self.initial.copy()
-        for response in self.steps[1:]:
-            if not is_well_formed(response.access, current):
-                break
-            current.add_all(response.as_facts())
-        return current
+        current = self.initial
+        added: List[Fact] = []
+        try:
+            for response in self.steps[1:]:
+                if not is_well_formed(response.access, current):
+                    break
+                for fact in response.as_facts():
+                    if current.add_fact(fact):
+                        added.append(fact)
+            yield current
+        finally:
+            for fact in reversed(added):
+                current.remove(fact.relation, fact.values)
+
+    def truncation_final_configuration(self) -> Configuration:
+        """The configuration reached at the end of the truncated path.
+
+        Semantically ``self.truncation().final_configuration()``, as a
+        standalone copy.  Callers that only *evaluate* at the truncated
+        configuration should use :meth:`truncation_view` instead and skip
+        the copy.
+        """
+        with self.truncation_view() as truncated:
+            return truncated.copy()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"AccessPath(len={len(self.steps)})"

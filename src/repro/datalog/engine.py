@@ -31,6 +31,7 @@ from repro.queries.terms import Variable, is_variable, split_bound_free
 __all__ = [
     "Database",
     "IndexedDatabase",
+    "SemiNaiveEvaluation",
     "evaluate_program",
     "evaluate_program_naive",
     "query_database",
@@ -185,6 +186,123 @@ def _rule_derivations(
             yield rule.head.ground_values(assignment)
 
 
+class SemiNaiveEvaluation:
+    """A resumable semi-naive evaluation handle.
+
+    Evaluates ``program`` over ``edb`` once on construction, then retains the
+    evaluated :class:`IndexedDatabase` together with the delta frontier so
+    that :meth:`advance` can absorb later extensional facts and continue the
+    semi-naive iteration from where it stopped, instead of re-evaluating from
+    an empty database.  This is what makes per-round certainty maintenance
+    proportional to the merged delta rather than to the whole configuration.
+
+    ``goal``, when given, names a ground goal predicate that occurs in **no**
+    rule body.  Evaluation then short-circuits: a goal-headed rule stops at
+    its first derivation (every derivation produces the same ground head),
+    and once a goal fact is derived no further rules are applied — later
+    :meth:`advance` calls only maintain extensional membership.  With a goal
+    the database is *not* guaranteed to be the complete fixpoint; it is only
+    guaranteed to contain the goal iff the fixpoint does, which is exactly
+    what a monotone certainty check needs.
+    """
+
+    __slots__ = ("_program", "_database", "_goal", "_goal_derived", "iterations")
+
+    def __init__(
+        self,
+        program: Program,
+        edb: Optional[Mapping[str, Iterable[Tuple[object, ...]]]] = None,
+        *,
+        goal: Optional[str] = None,
+    ) -> None:
+        self._program = program
+        self._goal = goal
+        self._goal_derived = False
+        self._database = IndexedDatabase(edb)
+        self.iterations = 0
+
+        # Naive first round (facts and rules applied once over the EDB).
+        delta: Dict[str, Set[Tuple[object, ...]]] = {}
+        for rule in program:
+            if self._apply(rule, None, delta):
+                return
+        self._saturate(delta)
+
+    @property
+    def goal_derived(self) -> bool:
+        """Whether the goal predicate has been derived (monotone: final)."""
+        return self._goal_derived
+
+    def holds(self, predicate: str) -> bool:
+        """Whether any fact is stored for ``predicate``."""
+        return self._database.size(predicate) > 0
+
+    def fact_count(self) -> int:
+        """Total number of stored facts (extensional plus derived)."""
+        return sum(len(rows) for rows in self._database.as_database().values())
+
+    def database(self) -> Database:
+        """The underlying predicate-to-rows mapping (shared, do not mutate)."""
+        return self._database.as_database()
+
+    def advance(self, facts: Iterable[Tuple[str, Tuple[object, ...]]]) -> List[Tuple[str, Tuple[object, ...]]]:
+        """Absorb extensional ``(predicate, row)`` facts; return the new ones.
+
+        Already-present facts are deduplicated for free.  Genuinely new facts
+        seed the delta frontier and the semi-naive iteration continues until
+        saturation (or until the goal fires, when a goal was declared).  Once
+        the goal has been derived only membership is maintained — absorbing
+        further facts costs one hash insert each.
+        """
+        fresh: List[Tuple[str, Tuple[object, ...]]] = []
+        delta: Dict[str, Set[Tuple[object, ...]]] = {}
+        for predicate, row in facts:
+            row = tuple(row)
+            if self._database.add(predicate, row):
+                fresh.append((predicate, row))
+                delta.setdefault(predicate, set()).add(row)
+        if delta and not self._goal_derived:
+            self._saturate(delta)
+        return fresh
+
+    def _apply(
+        self,
+        rule: Rule,
+        delta: Optional[Mapping[str, Set[Tuple[object, ...]]]],
+        delta_out: Dict[str, Set[Tuple[object, ...]]],
+    ) -> bool:
+        """Apply one rule, collecting new facts; ``True`` iff the goal fired."""
+        head = rule.head.predicate
+        derivations = _rule_derivations(rule, self._database, delta)
+        if head == self._goal:
+            derived = next(derivations, None)
+            if derived is None:
+                return False
+            if self._database.add(head, derived):
+                delta_out.setdefault(head, set()).add(derived)
+            self._goal_derived = True
+            return True
+        for derived in list(derivations):
+            if self._database.add(head, derived):
+                delta_out.setdefault(head, set()).add(derived)
+        return False
+
+    def _saturate(self, delta: Dict[str, Set[Tuple[object, ...]]]) -> None:
+        """Run semi-naive iterations until the frontier (or the goal) is done."""
+        while delta:
+            self.iterations += 1
+            new_delta: Dict[str, Set[Tuple[object, ...]]] = {}
+            for rule in self._program:
+                if rule.is_fact:
+                    continue
+                body_predicates = {literal.predicate for literal in rule.body}
+                if not body_predicates & set(delta):
+                    continue
+                if self._apply(rule, delta, new_delta):
+                    return
+            delta = new_delta
+
+
 def evaluate_program(
     program: Program,
     edb: Mapping[str, Iterable[Tuple[object, ...]]],
@@ -192,7 +310,9 @@ def evaluate_program(
     """Compute the least fixpoint of ``program`` over the extensional facts.
 
     Returns a new database containing the extensional facts plus every
-    derived intensional fact.
+    derived intensional fact.  One-shot wrapper over
+    :class:`SemiNaiveEvaluation`; callers that re-decide the same program as
+    facts trickle in should hold a handle and :meth:`~SemiNaiveEvaluation.advance` it instead.
 
     Under an active tracer each evaluation records a ``datalog.evaluate``
     span (rule count, semi-naive iterations) — the import is deferred to
@@ -202,33 +322,10 @@ def evaluate_program(
 
     tracer = current_tracer()
     with tracer.span("datalog.evaluate") as span:
-        database = IndexedDatabase(edb)
-
-        # Naive first round (facts and rules applied once over the EDB).
-        delta: Dict[str, Set[Tuple[object, ...]]] = {}
-        for rule in program:
-            for derived in list(_rule_derivations(rule, database)):
-                if database.add(rule.head.predicate, derived):
-                    delta.setdefault(rule.head.predicate, set()).add(derived)
-
-        # Semi-naive iterations.
-        iterations = 0
-        while delta:
-            iterations += 1
-            new_delta: Dict[str, Set[Tuple[object, ...]]] = {}
-            for rule in program:
-                if rule.is_fact:
-                    continue
-                body_predicates = {literal.predicate for literal in rule.body}
-                if not body_predicates & set(delta):
-                    continue
-                for derived in list(_rule_derivations(rule, database, delta)):
-                    if database.add(rule.head.predicate, derived):
-                        new_delta.setdefault(rule.head.predicate, set()).add(derived)
-            delta = new_delta
+        evaluation = SemiNaiveEvaluation(program, edb)
         if tracer.enabled:
-            span.annotate(rules=len(program), iterations=iterations)
-        return database.as_database()
+            span.annotate(rules=len(program), iterations=evaluation.iterations)
+        return evaluation.database()
 
 
 # --------------------------------------------------------------------------- #

@@ -356,11 +356,16 @@ def relevance_guided_strategy(
             relevance_checks += 1
             return should_perform(access, mediator.configuration_view)
 
+        # Each merged response advances the oracle's certainty fixpoint on
+        # this thread before the next stop() check, so mid-batch and
+        # end-of-round certainty probes resolve by delta advance instead of
+        # re-evaluating the whole configuration.
         batch = executor.execute_batch(
             relevant,
             precheck=precheck,
             stop=lambda: done(mediator.configuration_view),
             max_concurrency=parallelism,
+            on_response=oracle.absorb_response,
         )
         return not batch.progressed or done(mediator.configuration_view)
 

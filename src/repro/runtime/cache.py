@@ -59,9 +59,11 @@ from repro.core import (
     is_immediately_relevant,
     long_term_relevance_with_witness,
 )
-from repro.data import Configuration
+from repro.core.longterm_dependent import containment_cq_memo
+from repro.data import Configuration, Fact
 from repro.exceptions import QueryError
 from repro.queries import is_certain
+from repro.queries.certain import CertaintyFixpoint
 from repro.runtime.metrics import RuntimeMetrics
 from repro.runtime.shards import LRUCache, ShardedLRUCache, SharedVerdictStore
 from repro.runtime.tracing import current_tracer
@@ -120,6 +122,8 @@ class RelevanceOracle:
         metrics: Optional[RuntimeMetrics] = None,
         max_entries: Optional[int] = 65536,
         incremental: bool = True,
+        certainty_fixpoint: bool = True,
+        fixpoint_max_facts: int = 1_000_000,
         n_shards: int = 1,
         store: Optional[SharedVerdictStore] = None,
         pool: Optional["ProcessRelevancePool"] = None,
@@ -156,9 +160,25 @@ class RelevanceOracle:
             self._ltr_history = LRUCache(max_entries)
         self._query_relations = frozenset(self._query.relation_names())
         self._unsafe_domains = dependent_input_domains(schema)
+        if incremental and certainty_fixpoint:
+            self._fixpoint: Optional[CertaintyFixpoint] = (
+                store.certainty
+                if store is not None
+                else CertaintyFixpoint(self._query, max_facts=fixpoint_max_facts)
+            )
+        else:
+            self._fixpoint = None
         self._metrics.register_cache("oracle.cache", self._cache)
         self._metrics.register_cache("oracle.witnesses", self._witnesses)
         self._metrics.register_cache("oracle.ltr_history", self._ltr_history)
+        if self._fixpoint is not None:
+            self._metrics.register_cache("oracle.certainty_fixpoint", self._fixpoint)
+        # The Proposition 3.5 memo is process-wide (module-level in
+        # repro.core.longterm_dependent); registering it here surfaces its
+        # hit/miss counters in this runtime's metrics snapshots.
+        self._metrics.register_cache(
+            "ltr.containment_cq_memo", containment_cq_memo()
+        )
         # Provenance for trace annotations: which witness keys came off disk
         # (vs captured live this process) and which verdicts a pool worker
         # computed.  LtrWitness is frozen, so provenance lives here, not on
@@ -237,24 +257,53 @@ class RelevanceOracle:
         return verdict
 
     def is_certain(self, configuration: Configuration) -> bool:
-        """Memoized certainty of the query at ``configuration``.
+        """Memoized, incrementally maintained certainty at ``configuration``.
 
-        A ``certainty`` span is recorded only when the verdict is actually
-        computed — fingerprint hits stay span-free so per-round certainty
-        polling does not flood a trace with zero-duration entries.
+        Resolution order mirrors the LTR chain: exact fingerprint hit →
+        delta advance of the :class:`~repro.queries.certain.CertaintyFixpoint`
+        (the materialized semi-naive state, matched by fact-fingerprint
+        lineage and advanced by each batch's merged facts via
+        :meth:`absorb_response`) → full re-evaluation only on a non-monotone
+        reset (``restarted``) or when the query does not compile to a
+        certainty program (``unsupported``, falling back to the direct
+        evaluation).  Outcomes are counted as ``certainty.exact`` /
+        ``certainty.advanced`` / ``certainty.restarted`` /
+        ``certainty.unsupported``, and a ``certainty`` span carries the same
+        outcome as its ``certainty=...`` tag.  Spans for exact and advanced
+        resolutions are recorded only under an active tracer, so per-round
+        certainty polling does not flood a trace with zero-duration entries.
         """
         key = ("certain", configuration.fingerprint())
         cached = self._cache.get(key, _MISSING)
         if cached is not _MISSING:
             self._metrics.incr("oracle.hits")
+            self._metrics.incr("certainty.exact")
+            tracer = current_tracer()
+            if tracer.enabled:
+                with tracer.span("certainty") as span:
+                    span.annotate(certainty="exact", certain=bool(cached))
             return bool(cached)
         self._metrics.incr("oracle.misses")
         tracer = current_tracer()
+        if self._fixpoint is not None:
+            if tracer.enabled:
+                with tracer.span("certainty") as span:
+                    with self._metrics.timer("oracle.certain"):
+                        verdict, outcome = self._fixpoint.check(configuration)
+                    span.annotate(certainty=outcome, certain=verdict)
+            else:
+                with self._metrics.timer("oracle.certain"):
+                    verdict, outcome = self._fixpoint.check(configuration)
+            self._metrics.incr("certainty." + outcome)
+            if verdict is not None:
+                self._cache.put(key, bool(verdict))
+                return bool(verdict)
+            # Unsupported query: fall through to the direct evaluation.
         with tracer.span("certainty") as span:
             with self._metrics.timer("oracle.certain"):
                 verdict = bool(is_certain(self._query, configuration))
             if tracer.enabled:
-                span.annotate(certain=verdict)
+                span.annotate(certainty="computed", certain=verdict)
         self._cache.put(key, verdict)
         return verdict
 
@@ -490,11 +539,57 @@ class RelevanceOracle:
     # ------------------------------------------------------------------ #
     # Externally computed verdicts
     # ------------------------------------------------------------------ #
+    def absorb_response(self, response) -> None:
+        """Advance the certainty fixpoint by a merged access response.
+
+        Called (via the executor's ``on_response`` hook) on the dispatching
+        thread right after each response's facts are merged into the
+        configuration, so every subsequent certainty probe — including the
+        executor's own mid-batch ``stop()`` checks — finds the fixpoint's
+        lineage matching the live configuration and resolves by delta
+        advance.  Feeding *all* of a response's facts is exact: the fixpoint
+        deduplicates against its mirrored state.  No-op without a fixpoint.
+        """
+        if self._fixpoint is not None:
+            self._fixpoint.absorb(response.as_facts())
+
+    def absorb_facts(self, facts: Sequence[Fact]) -> None:
+        """Advance the certainty fixpoint by already-merged facts."""
+        if self._fixpoint is not None:
+            self._fixpoint.absorb(facts)
+
+    @property
+    def certainty_fixpoint(self) -> Optional[CertaintyFixpoint]:
+        """The attached incremental-certainty state, if enabled."""
+        return self._fixpoint
+
+    def fast_certainty(self, configuration: Configuration) -> Optional[bool]:
+        """Certainty at ``configuration`` without a full evaluation.
+
+        Resolves by exact fingerprint hit or by a lineage-matched read of the
+        certainty fixpoint (:meth:`CertaintyFixpoint.peek` — never rebuilds);
+        returns ``None`` when only a full (re-)evaluation could answer.  The
+        query server uses this to decide which queries' certainty checks to
+        ship to the pool.
+        """
+        key = ("certain", configuration.fingerprint())
+        cached = self._cache.get(key, _MISSING)
+        if cached is not _MISSING:
+            self._metrics.incr("certainty.exact")
+            return bool(cached)
+        if self._fixpoint is not None:
+            verdict = self._fixpoint.peek(configuration)
+            if verdict is not None:
+                self._metrics.incr("certainty.advanced")
+                self._cache.put(key, bool(verdict))
+                return bool(verdict)
+        return None
+
     def cached_certainty(self, configuration: Configuration) -> Optional[bool]:
         """The memoized certainty at ``configuration``, or ``None`` on a miss.
 
-        Unlike :meth:`is_certain` this never computes; the query server uses
-        it to decide which queries' certainty checks to ship to the pool.
+        Unlike :meth:`is_certain` this never computes (and unlike
+        :meth:`fast_certainty` it never consults the fixpoint).
         """
         cached = self._cache.get(("certain", configuration.fingerprint()), _MISSING)
         return None if cached is _MISSING else bool(cached)

@@ -25,7 +25,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.data import AccessResponse, Configuration
+from repro.data import AccessResponse, Configuration, Fact
 from repro.runtime.cache import access_key
 from repro.runtime.metrics import RuntimeMetrics
 from repro.runtime.tracing import current_tracer
@@ -94,6 +94,25 @@ class BatchResult:
         """
         return self.new_facts > 0
 
+    def delta_facts(self) -> List[Fact]:
+        """The batch's merged facts, deduplicated across responses.
+
+        Responses are merged all-or-nothing before being recorded, so the
+        post-batch configuration is exactly the pre-batch one plus these
+        facts; consumers maintaining incremental state (the certainty
+        fixpoint) can advance by this delta instead of re-reading the
+        configuration.  May still include facts the configuration already
+        had before the batch — sound for any dedup-on-absorb consumer.
+        """
+        seen: Set[Fact] = set()
+        delta: List[Fact] = []
+        for response in self.responses:
+            for fact in response.as_facts():
+                if fact not in seen:
+                    seen.add(fact)
+                    delta.append(fact)
+        return delta
+
 
 class AccessExecutor:
     """Deduplicating, metric-recording executor over one mediator."""
@@ -145,6 +164,7 @@ class AccessExecutor:
         stop: Optional[Callable[[], bool]] = None,
         max_concurrency: int = 1,
         annotate_access: Optional[Callable[[Access], Optional[Dict[str, object]]]] = None,
+        on_response: Optional[Callable[[AccessResponse], None]] = None,
     ) -> BatchResult:
         """Perform every not-yet-performed access of the batch.
 
@@ -156,6 +176,11 @@ class AccessExecutor:
         executes against.  ``stop`` ends the batch between completions (e.g.
         the query became certain); responses already in flight are still
         merged, so the performed set always equals the dispatched set.
+        ``on_response`` is invoked on the calling thread for each response,
+        immediately after its facts are merged into the configuration and
+        before any subsequent ``stop`` or ``precheck`` evaluation — the
+        ordering incremental consumers (the certainty fixpoint) rely on to
+        stay in lineage with the live configuration mid-batch.
 
         With ``max_concurrency > 1`` the batch overlaps source latency
         through :meth:`Mediator.perform_many`; prechecks, stop checks, and
@@ -200,6 +225,8 @@ class AccessExecutor:
             result.performed += 1
             result.responses.append(response)
             result.new_facts += new_facts
+            if on_response is not None:
+                on_response(response)
 
         def on_timing(access: Access, duration: float) -> None:
             self._metrics.observe("access.latency", duration)

@@ -211,6 +211,13 @@ class QueryServer:
     max_stores:
         Bound on the per-query store registry (least-recently-used stores
         are evicted; an evicted query merely loses cross-request reuse).
+    fixpoint_max_facts:
+        Memory knob for the incremental-certainty state: the per-query
+        :class:`~repro.queries.certain.CertaintyFixpoint` drops its
+        materialized database when it exceeds this many facts (it rebuilds
+        on the next certainty check).  Together with ``max_stores`` —
+        evicting a store drops its fixpoint — this bounds certainty state
+        to ``max_stores × fixpoint_max_facts`` facts.
     tracer:
         An optional :class:`~repro.runtime.tracing.Tracer` activated for the
         duration of every :meth:`answer` call.  With one attached the server
@@ -236,6 +243,7 @@ class QueryServer:
         parallelism: int = 1,
         max_entries: Optional[int] = 65536,
         max_stores: int = 64,
+        fixpoint_max_facts: int = 1_000_000,
         tracer: Optional[TracerLike] = None,
     ) -> None:
         if not use_immediate and not use_long_term:
@@ -266,6 +274,7 @@ class QueryServer:
         # query rebuilds its history (or re-seeds it from the persistent
         # cache), never a wrong answer.
         self._max_stores = max(1, max_stores)
+        self._fixpoint_max_facts = fixpoint_max_facts
         self._stores: "OrderedDict[str, SharedVerdictStore]" = OrderedDict()
         # One executor for the server's lifetime: its deduplication set is
         # what makes an access performed by one answer call advance — and
@@ -308,7 +317,10 @@ class QueryServer:
         store = self._stores.get(token)
         if store is None:
             store = SharedVerdictStore(
-                boolean, self._mediator.schema, max_entries=self._max_entries
+                boolean,
+                self._mediator.schema,
+                max_entries=self._max_entries,
+                fixpoint_max_facts=self._fixpoint_max_facts,
             )
             self._stores[token] = store
             while len(self._stores) > self._max_stores:
@@ -452,12 +464,17 @@ class QueryServer:
     ) -> None:
         """Update ``state.certain`` for every state (monotone, so certain
         states are never re-checked).  With a pool attached the uncached
-        checks of different queries run concurrently on the workers."""
+        checks of different queries run concurrently on the workers.
+
+        ``fast_certainty`` resolves by exact fingerprint hit *or* by a
+        lineage-matched read of the query's certainty fixpoint — advanced
+        each batch by the merged facts — so only queries needing a full
+        (re-)evaluation are shipped to the pool or computed inline."""
         unresolved: List[_QueryState] = []
         for state in states:
             if state.certain:
                 continue
-            cached = state.oracle.cached_certainty(configuration)
+            cached = state.oracle.fast_certainty(configuration)
             if cached is not None:
                 state.certain = cached
             else:
@@ -701,12 +718,32 @@ class QueryServer:
                 state.certain = True
             return True
 
+        # Each merged response advances every query's certainty fixpoint
+        # (one per shared store — duplicate queries share one state, so the
+        # batch advances one state per *distinct* query, not per state)
+        # before any subsequent stop() probe, which therefore resolves by
+        # delta advance instead of re-evaluating the shared configuration
+        # once per live query.
+        absorbers: List[RelevanceOracle] = []
+        seen_fixpoints = set()
+        for state in states:
+            fixpoint = state.oracle.certainty_fixpoint
+            if fixpoint is None or id(fixpoint) in seen_fixpoints:
+                continue
+            seen_fixpoints.add(id(fixpoint))
+            absorbers.append(state.oracle)
+
+        def on_response(response) -> None:
+            for oracle in absorbers:
+                oracle.absorb_response(response)
+
         batch = executor.execute_batch(
             batch_accesses,
             precheck=precheck,
             stop=stop,
             max_concurrency=self._parallelism,
             annotate_access=annotate_access if tracer.enabled else None,
+            on_response=on_response if absorbers else None,
         )
         if not batch.progressed:
             return (False, False)

@@ -37,6 +37,7 @@ from collections import OrderedDict
 from typing import Hashable, List, Optional
 
 from repro.exceptions import QueryError
+from repro.queries.certain import CertaintyFixpoint
 from repro.schema import Schema
 
 __all__ = ["LRUCache", "ShardedLRUCache", "SharedVerdictStore"]
@@ -215,7 +216,12 @@ class SharedVerdictStore:
     their soundness arguments compare configuration *content*, never the
     identity of the run that recorded them — so repeated benchmark runs,
     parallel answering workers, and the planned multi-query mediator can all
-    pool them.
+    pool them.  The store also owns the per-(query, schema)
+    :class:`~repro.queries.certain.CertaintyFixpoint` (``certainty``): the
+    materialized incremental-certainty state, keyed by fact-fingerprint
+    lineage and therefore equally run-independent.  Evicting the store (the
+    query server's bounded registry does this) drops the fixpoint with it,
+    bounding materialized certainty state.
 
     Sharing is scoped to *identical* Boolean queries over the *same* schema
     object: :class:`~repro.runtime.cache.RelevanceOracle` validates both at
@@ -229,11 +235,13 @@ class SharedVerdictStore:
         *,
         max_entries: Optional[int] = 65536,
         n_shards: int = 8,
+        fixpoint_max_facts: int = 1_000_000,
     ) -> None:
         self._query = query if query.is_boolean else query.boolean_closure()
         self._schema = schema
         self.ltr_history = ShardedLRUCache(max_entries, n_shards=n_shards)
         self.witnesses = ShardedLRUCache(max_entries, n_shards=n_shards)
+        self.certainty = CertaintyFixpoint(self._query, max_facts=fixpoint_max_facts)
 
     @property
     def query(self):

@@ -152,7 +152,7 @@ class LtrWitness:
         works; the caller decides whether to search afresh.
 
         The truncation is replayed through
-        :meth:`~repro.data.paths.AccessPath.truncation_final_configuration` —
+        :meth:`~repro.data.paths.AccessPath.truncation_view` —
         the same code the fresh search evaluates candidate paths with — so an
         accepted revalidation certifies the path by *exactly* the criterion
         :func:`~repro.core.longterm_dependent.find_ltr_witness_steps` uses:
@@ -161,20 +161,30 @@ class LtrWitness:
         the truncation there, and later steps are dropped with it, whether or
         not they depend on the probed access).
 
-        Cost: two configuration copies (not one per step), |path|
-        well-formedness checks and fact merges, and two query evaluations.
+        Cost: |path| well-formedness checks and fact merges, and two query
+        evaluations — with **zero configuration copies**.  Both replays
+        mutate ``configuration`` in place behind an undo log and restore it
+        exactly (content, fingerprint, cached views) before returning, so
+        revalidation is O(|path|) in allocations as well as steps.  Like the
+        rest of the oracle's incremental machinery this runs on the
+        strategy's dispatching thread, where the live configuration view
+        only changes between callbacks.
         """
-        current = configuration.copy()
-        for step in self.steps:
-            if not is_well_formed(step.access, current):
+        added = []
+        try:
+            for step in self.steps:
+                if not is_well_formed(step.access, configuration):
+                    return False
+                for fact in step.as_facts():
+                    if configuration.add_fact(fact):
+                        added.append(fact)
+            if not evaluate_boolean(query, configuration):
                 return False
-            current.add_all(step.as_facts())
-        if not evaluate_boolean(query, current):
-            return False
-        truncated = AccessPath(
-            configuration, list(self.steps)
-        ).truncation_final_configuration()
-        return not evaluate_boolean(query, truncated)
+        finally:
+            for fact in reversed(added):
+                configuration.remove(fact.relation, fact.values)
+        with AccessPath(configuration, list(self.steps)).truncation_view() as truncated:
+            return not evaluate_boolean(query, truncated)
 
     def translated(self, mapping: Mapping[object, object]) -> "LtrWitness":
         """The witness under a value renaming (for verdict sharing).
