@@ -13,7 +13,10 @@ Measures the three claims of the multi-query answering server:
 * **persistent witness cache** — a warm restart against a populated cache
   file revalidates stored witness paths (nonzero ``witness.revalidated``)
   and runs strictly fewer fresh LTR searches than the cold run, with
-  identical answers.
+  identical answers;
+* **multi-process verdict sharing** — 4 concurrent server processes writing
+  one SQLite-backed store, then a cold process warm-starting with the same
+  fresh-search count as the single-process warm restart.
 
 The guided-strategy benchmarks here are part of the CI regression gate
 (``compare_bench.py --gate guided,server``).
@@ -21,6 +24,8 @@ The guided-strategy benchmarks here are part of the CI regression gate
 
 from __future__ import annotations
 
+import json
+import multiprocessing
 import os
 import time
 
@@ -249,4 +254,100 @@ def test_persistent_cache_warm_restart(benchmark, tmp_path):
             "warm_fresh_searches": warm_counters.get("oracle.fresh_searches", 0),
             "warm_revalidated": warm_counters.get("witness.revalidated", 0),
         }
+    )
+
+
+def _mp_worker(path: str, out_path: str) -> None:
+    """One server process of the fleet: answer the full CPU-bound batch
+    against the shared SQLite-backed store, then report its counters.
+
+    Module-level (not a closure) so the ``spawn`` start method can pickle
+    it; each process rebuilds the deterministic scenario itself.
+    """
+    scenario = _cpu_scenario()
+    metrics = RuntimeMetrics()
+    with QueryServer(
+        scenario.mediator(), cache_path=path, cache_backend="sqlite", metrics=metrics
+    ) as server:
+        result = server.answer(scenario.queries)
+    counters = metrics.snapshot()["counters"]
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "answers": list(result.boolean_answers),
+                "fresh_searches": counters.get("oracle.fresh_searches", 0),
+                "revalidated": counters.get("witness.revalidated", 0),
+                "recorded": counters.get("persist.recorded", 0),
+                "sqlite_appends": counters.get("persist.sqlite.appends", 0),
+            },
+            handle,
+        )
+
+
+def _run_worker_processes(ctx, path, out_paths):
+    procs = [
+        ctx.Process(target=_mp_worker, args=(path, out))
+        for out in out_paths
+    ]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(timeout=600)
+        assert proc.exitcode == 0
+    reports = []
+    for out in out_paths:
+        with open(out, "r", encoding="utf-8") as handle:
+            reports.append(json.load(handle))
+    return reports
+
+
+@pytest.mark.experiment("SERVER-sqlite-multiprocess")
+def test_sqlite_multiprocess_shared_store_warm_restart(tmp_path):
+    """Acceptance gate: 4 concurrent server processes write one SQLite
+    store; a cold process then warm-starts with the *same* fresh-search
+    count as the single-process warm restart — multi-process sharing loses
+    nothing relative to the one-writer contract the JSONL backend has.
+    """
+    ctx = multiprocessing.get_context("spawn")
+    shared = os.fspath(tmp_path / "shared.sqlite")
+    reference = os.fspath(tmp_path / "reference.sqlite")
+
+    # Reference: one process populates its own store, a second (cold)
+    # process warm-starts against it — the existing single-process bench,
+    # run out-of-process so every probe sees identical process state.
+    (ref_cold,) = _run_worker_processes(
+        ctx, reference, [os.fspath(tmp_path / "ref-cold.json")]
+    )
+    (ref_warm,) = _run_worker_processes(
+        ctx, reference, [os.fspath(tmp_path / "ref-warm.json")]
+    )
+    assert ref_cold["recorded"] > 0
+    assert ref_warm["revalidated"] > 0
+    assert ref_warm["fresh_searches"] < ref_cold["fresh_searches"]
+
+    # The fleet: 4 concurrent processes, one shared store.
+    fleet = _run_worker_processes(
+        ctx,
+        shared,
+        [os.fspath(tmp_path / f"fleet-{index}.json") for index in range(4)],
+    )
+    assert all(report["answers"] == ref_cold["answers"] for report in fleet)
+    # Every process recorded into the shared store without error; the store
+    # deduplicates, so the fleet's effective appends cannot exceed one
+    # process's record count.
+    assert sum(report["sqlite_appends"] for report in fleet) >= ref_cold["recorded"]
+
+    # A cold process warm-starts against the fleet's store with exactly the
+    # reference warm fresh-search count: records landed by four concurrent
+    # writers seed as well as records landed by one.
+    (probe,) = _run_worker_processes(
+        ctx, shared, [os.fspath(tmp_path / "probe.json")]
+    )
+    assert probe["answers"] == ref_cold["answers"]
+    assert probe["revalidated"] > 0
+    assert probe["fresh_searches"] == ref_warm["fresh_searches"]
+    print(
+        f"\nmulti-process warm restart: cold {ref_cold['fresh_searches']} -> "
+        f"warm {probe['fresh_searches']} fresh searches "
+        f"({probe['revalidated']} revalidations) via 4-writer SQLite store"
     )

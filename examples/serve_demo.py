@@ -21,6 +21,12 @@ working directory).
 
 Run with:  python examples/serve_demo.py
 
+``--backend sqlite`` runs the same demo over the SQLite witness store
+(WAL mode, safe for concurrent server processes), and ``--multiproc N``
+demonstrates exactly that: N *processes*, each a full server, answer the
+batch concurrently against one shared SQLite store, after which a cold
+process warm-starts from the corpus the fleet built.
+
 Two service modes ride along (see docs/operations.md):
 
 * ``--serve [--port 8080]`` starts the network-facing
@@ -36,6 +42,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import multiprocessing
 import os
 import tempfile
 import time
@@ -55,7 +62,7 @@ from repro.runtime import (
 from repro.workloads import bank_multi_query_scenario
 
 
-def main() -> None:
+def main(backend: str = "jsonl") -> None:
     scenario = bank_multi_query_scenario(8, employees=6, offices=3, states=4)
     print(f"Scenario {scenario.name}: {len(scenario.queries)} queries")
     for query in scenario.queries:
@@ -77,7 +84,7 @@ def main() -> None:
 
     workers = min(4, os.cpu_count() or 1)
     with tempfile.TemporaryDirectory() as tmp:
-        cache_path = os.path.join(tmp, "witness.jsonl")
+        cache_path = os.path.join(tmp, f"witness.{backend}")
 
         # -- 2. One server call over the shared configuration ----------- #
         metrics = RuntimeMetrics()
@@ -85,13 +92,14 @@ def main() -> None:
             scenario.mediator(),
             search_workers=workers,
             cache_path=cache_path,
+            cache_backend=backend,
             metrics=metrics,
         ) as server:
             started = time.perf_counter()
             result = server.answer(scenario.queries)
             server_wall = time.perf_counter() - started
         counters = metrics.snapshot()["counters"]
-        print(f"QueryServer batch (search_workers={workers}):")
+        print(f"QueryServer batch (search_workers={workers}, backend={backend}):")
         print("  answers:        ", list(result.boolean_answers))
         print("  accesses:       ", result.accesses_made, "(shared across the batch)")
         print("  rounds:         ", result.rounds)
@@ -112,6 +120,7 @@ def main() -> None:
         with QueryServer(
             scenario.mediator(),
             cache_path=cache_path,
+            cache_backend=backend,
             metrics=warm_metrics,
             tracer=tracer,
         ) as restarted:
@@ -162,6 +171,78 @@ def main() -> None:
             print("  " + line)
         if len(lines) > 30:
             print(f"  ... ({len(lines) - 30} more lines)")
+
+
+def _fleet_worker(cache_path: str, out_path: str) -> None:
+    """One server process of the ``--multiproc`` fleet (module-level so the
+    ``spawn`` start method can pickle it)."""
+    scenario = bank_multi_query_scenario(8, employees=6, offices=3, states=4)
+    metrics = RuntimeMetrics()
+    with QueryServer(
+        scenario.mediator(),
+        cache_path=cache_path,
+        cache_backend="sqlite",
+        metrics=metrics,
+    ) as server:
+        started = time.perf_counter()
+        result = server.answer(scenario.queries)
+        wall = time.perf_counter() - started
+    counters = metrics.snapshot()["counters"]
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "answers": list(result.boolean_answers),
+                "fresh": counters.get("oracle.fresh_searches", 0),
+                "revalidated": counters.get("witness.revalidated", 0),
+                "recorded": counters.get("persist.recorded", 0),
+                "seeded": counters.get("persist.seeded", 0),
+                "wall_ms": round(wall * 1000),
+            },
+            handle,
+        )
+
+
+def multiproc_demo(workers: int) -> None:
+    """N concurrent server *processes* sharing one SQLite witness store."""
+    ctx = multiprocessing.get_context("spawn")
+    with tempfile.TemporaryDirectory() as tmp:
+        cache_path = os.path.join(tmp, "witness.sqlite")
+        print(f"Fleet: {workers} server processes, one shared SQLite store")
+        outs = [os.path.join(tmp, f"worker-{index}.json") for index in range(workers)]
+        procs = [
+            ctx.Process(target=_fleet_worker, args=(cache_path, out))
+            for out in outs
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join()
+        reports = []
+        for index, out in enumerate(outs):
+            with open(out, "r", encoding="utf-8") as handle:
+                report = json.load(handle)
+            reports.append(report)
+            print(
+                f"  worker {index}: answers={report['answers']} "
+                f"fresh={report['fresh']} recorded={report['recorded']} "
+                f"wall={report['wall_ms']} ms"
+            )
+        assert all(r["answers"] == reports[0]["answers"] for r in reports)
+        print()
+
+        probe_out = os.path.join(tmp, "probe.json")
+        probe = ctx.Process(target=_fleet_worker, args=(cache_path, probe_out))
+        probe.start()
+        probe.join()
+        with open(probe_out, "r", encoding="utf-8") as handle:
+            warm = json.load(handle)
+        print("Cold process warm-starting from the fleet's store:")
+        print("  seeded paths:   ", warm["seeded"])
+        print("  revalidated:    ", warm["revalidated"])
+        print("  fresh searches: ", warm["fresh"], f"(cold: {reports[0]['fresh']})")
+        print(f"  wall clock:      {warm['wall_ms']} ms")
+        assert warm["answers"] == reports[0]["answers"]
+        assert warm["fresh"] < reports[0]["fresh"]
 
 
 def _post_json(url: str, document: dict) -> dict:
@@ -276,6 +357,20 @@ if __name__ == "__main__":
         help="start the service, answer the bank batch over HTTP, assert "
         "equivalence with the in-process server (the CI smoke)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=("jsonl", "sqlite"),
+        default="jsonl",
+        help="witness store backend for the main demo (default: jsonl)",
+    )
+    parser.add_argument(
+        "--multiproc",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run N concurrent server processes against one shared SQLite "
+        "store, then warm-start a cold process from it",
+    )
     parser.add_argument("--port", type=int, default=8080, help="--serve port")
     parser.add_argument(
         "--rate",
@@ -294,5 +389,7 @@ if __name__ == "__main__":
         service_smoke()
     elif arguments.serve:
         serve(arguments.port, arguments.rate, arguments.round_budget)
+    elif arguments.multiproc > 0:
+        multiproc_demo(arguments.multiproc)
     else:
-        main()
+        main(arguments.backend)

@@ -72,6 +72,8 @@ from repro.runtime import (
     RuntimeMetrics,
     ServerResult,
     SharedVerdictStore,
+    WitnessStore,
+    open_witness_store,
 )
 from repro.schema import (
     AbstractDomain,
@@ -141,6 +143,8 @@ __all__ = [
     "RuntimeMetrics",
     "ServerResult",
     "SharedVerdictStore",
+    "WitnessStore",
+    "open_witness_store",
     # exceptions
     "ReproError",
     "SchemaError",

@@ -171,6 +171,7 @@ def relevance_guided_strategy(
     search_workers: int = 1,
     pool: Optional[ProcessRelevancePool] = None,
     cache_path: Optional[str] = None,
+    cache_backend: str = "auto",
     tracer: Optional[TracerLike] = None,
 ) -> AnsweringResult:
     """Only perform accesses that are relevant for the query.
@@ -215,10 +216,12 @@ def relevance_guided_strategy(
       and access sets are identical to the single-process run.  A pool built
       here is closed when the run returns; pass ``pool`` to amortise worker
       start-up across runs.
-    * ``cache_path`` attaches a :class:`PersistentWitnessCache`: witness
-      paths captured by this run are appended to the file, and paths from
-      earlier runs (even earlier *processes*) are seeded so this run
-      revalidates instead of searching fresh.
+    * ``cache_path`` attaches a :class:`PersistentWitnessCache`
+      (``cache_backend`` selects ``"auto"`` / ``"jsonl"`` / ``"sqlite"``
+      storage — see :mod:`repro.runtime.storage`): witness paths captured by
+      this run are recorded, and paths from earlier runs (even earlier
+      *processes*) are seeded so this run revalidates instead of searching
+      fresh.
 
     Both knobs configure the run's own oracle; with a pre-built ``oracle``
     attach them at its construction instead (supplying both is rejected,
@@ -262,7 +265,11 @@ def relevance_guided_strategy(
         # probed from several answering threads.
         if pool is None and search_workers > 1:
             own_pool = pool = ProcessRelevancePool(search_workers)
-        persist = PersistentWitnessCache(cache_path) if cache_path else None
+        persist = (
+            PersistentWitnessCache(cache_path, backend=cache_backend, metrics=metrics)
+            if cache_path
+            else None
+        )
         oracle = RelevanceOracle(
             query,
             schema,

@@ -25,6 +25,9 @@ needs around the paper's decision procedures:
   overlaps latency; the GIL serializes the searches themselves);
 * :class:`~repro.runtime.persist.PersistentWitnessCache` — witness paths on
   disk, so a warm restart revalidates instead of searching fresh;
+* :mod:`~repro.runtime.storage` — the pluggable storage backends under the
+  persistent cache: compacting JSONL (single writer) and WAL-mode SQLite
+  (safe for N concurrent server processes sharing one store);
 * :mod:`~repro.runtime.serialize` — the wire formats and process-stable
   digests both of the above are built on;
 * :class:`~repro.runtime.server.QueryServer` — the multi-query answering
@@ -69,6 +72,13 @@ from repro.runtime.screening import CandidateScreen, relevant_relation_closure
 from repro.runtime.server import MultiQueryMediator, QueryOutcome, QueryServer, ServerResult
 from repro.runtime.service import AnsweringService, ServiceHandle, serve_in_background
 from repro.runtime.shards import ShardedLRUCache, SharedVerdictStore
+from repro.runtime.storage import (
+    CompactionResult,
+    JsonlWitnessStore,
+    SqliteWitnessStore,
+    WitnessStore,
+    open_witness_store,
+)
 from repro.runtime.tracing import (
     NO_TRACER,
     NullTracer,
@@ -92,7 +102,9 @@ __all__ = [
     "AnsweringService",
     "BatchResult",
     "CandidateScreen",
+    "CompactionResult",
     "ConfigurationSnapshot",
+    "JsonlWitnessStore",
     "LRUCache",
     "LatencyHistogram",
     "LtrWitness",
@@ -110,9 +122,11 @@ __all__ = [
     "ShardedLRUCache",
     "SharedVerdictStore",
     "Span",
+    "SqliteWitnessStore",
     "SpanContext",
     "TokenBucket",
     "Tracer",
+    "WitnessStore",
     "access_key",
     "activate_tracer",
     "chrome_trace_events",
@@ -122,6 +136,7 @@ __all__ = [
     "encode_spans",
     "explain_trace",
     "json_snapshot",
+    "open_witness_store",
     "prometheus_text",
     "relevant_relation_closure",
     "serve_in_background",

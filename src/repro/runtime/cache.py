@@ -32,9 +32,11 @@ Two optional attachments extend the oracle beyond one process:
   (:meth:`RelevanceOracle.prefetch_long_term`): the misses that would
   otherwise each run a fresh CPU-bound search on this thread are searched
   concurrently, their verdicts and witness paths merged back into the cache;
-* a :class:`~repro.runtime.persist.PersistentWitnessCache` (``persist=``)
-  seeds stored witness paths at construction — a warm restart revalidates
-  instead of searching — and records every newly captured path.
+* a :class:`~repro.runtime.persist.PersistentWitnessCache` (``persist=``, or
+  ``cache_path=`` / ``cache_backend=`` to open one — JSONL or SQLite, see
+  :mod:`repro.runtime.storage`) seeds stored witness paths at construction —
+  a warm restart revalidates instead of searching — and records every newly
+  captured path.
 
 Concurrency: every cache the oracle reads or writes is an
 :class:`~repro.runtime.shards.LRUCache` (lock-protected) or a
@@ -128,6 +130,8 @@ class RelevanceOracle:
         store: Optional[SharedVerdictStore] = None,
         pool: Optional["ProcessRelevancePool"] = None,
         persist: Optional["PersistentWitnessCache"] = None,
+        cache_path: Optional[str] = None,
+        cache_backend: str = "auto",
     ) -> None:
         self._query = query if query.is_boolean else query.boolean_closure()
         self._schema = schema
@@ -135,6 +139,14 @@ class RelevanceOracle:
         self._ltr_method = ltr_method
         self._metrics = metrics if metrics is not None else RuntimeMetrics()
         self._pool = pool
+        if cache_path is not None and persist is not None:
+            raise QueryError("pass either cache_path or a persist instance, not both")
+        if cache_path is not None:
+            from repro.runtime.persist import PersistentWitnessCache
+
+            persist = PersistentWitnessCache(
+                cache_path, backend=cache_backend, metrics=self._metrics
+            )
         self._persist = persist
         self._cache: Union[LRUCache, ShardedLRUCache] = (
             ShardedLRUCache(max_entries, n_shards=n_shards)

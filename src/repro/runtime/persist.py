@@ -4,11 +4,16 @@ The incremental engine's biggest win — serving a long-term relevance verdict
 by revalidating a stored witness path in O(|path|) — previously died with
 the process: every restart paid the full search cost again before the
 in-memory caches warmed up.  :class:`PersistentWitnessCache` writes captured
-witness paths to an append-only JSONL file and seeds them back into a fresh
-oracle (or :class:`~repro.runtime.shards.SharedVerdictStore`), so a *warm
-restart* revalidates instead of searching.
+witness paths to a :class:`~repro.runtime.storage.WitnessStore` backend and
+seeds them back into a fresh oracle (or
+:class:`~repro.runtime.shards.SharedVerdictStore`), so a *warm restart*
+revalidates instead of searching.
 
-Design notes:
+The cache is a thin layer: **encoding, decoding, memoization, seeding**.
+Bytes live in the backend — :class:`~repro.runtime.storage.JsonlWitnessStore`
+(single writer, compacting, human-greppable) or
+:class:`~repro.runtime.storage.SqliteWitnessStore` (WAL mode, safe for N
+concurrent server processes sharing one store).  Design notes:
 
 * **Keying.**  Records are keyed by the process-stable digests of
   :mod:`repro.runtime.serialize`: ``(query token, schema token, access
@@ -18,16 +23,17 @@ Design notes:
   configuration the witness was captured at, for observability (the path is
   revalidated at the *probe* configuration regardless, so a stale stamp
   costs nothing but a failed revalidation).
-* **Append-only JSONL.**  One JSON object per line; the last record per key
-  wins on load.  Appends happen under a lock, with an in-memory digest set
-  deduplicating identical paths, so repeated runs do not grow the file
-  unboundedly with copies of one witness.
+* **Cross-process invalidation.**  The per-(query, schema) decode memo is
+  tagged with the backend's generation token and re-pulled when the token
+  moves — a record landed by worker process A seeds worker B's next
+  :meth:`witnesses_for` miss without B restarting.
 * **Soundness.**  A loaded witness is never *trusted*: seeding only hands
   the path to :meth:`~repro.runtime.witness.LtrWitness.revalidate`, which
   replays it step by step at the current configuration.  A corrupt, stale,
   or adversarial record can therefore cost a wasted revalidation, never a
-  wrong verdict; records that no longer decode against the schema are
-  skipped and counted.
+  wrong verdict; records that no longer decode against the schema (or carry
+  a newer :data:`~repro.runtime.serialize.RECORD_VERSION`) are skipped and
+  counted.
 * **Value coverage.**  Only JSON-representable values (strings, numbers,
   booleans, ``None``, nested tuples) are persisted; a witness containing
   anything else is skipped and counted under ``skipped_unencodable``.
@@ -35,56 +41,89 @@ Design notes:
 
 from __future__ import annotations
 
-import json
-import os
 import threading
 from typing import Dict, Hashable, Optional, Tuple
 
 from repro.runtime.serialize import (
     UnencodableValueError,
-    access_token,
-    configuration_digest,
-    decode_json_steps,
-    decode_json_value,
+    decode_witness_record,
     decode_witness_steps,
-    encode_json_steps,
-    encode_json_value,
+    encode_witness_record,
     encode_witness_steps,
     query_token,
     schema_token,
-    witness_digest,
 )
+from repro.runtime.storage import CompactionResult, WitnessStore, open_witness_store
 from repro.runtime.tracing import current_tracer
 from repro.runtime.witness import LtrWitness
 from repro.schema import Access, Schema
 
 __all__ = ["PersistentWitnessCache"]
 
+#: Store counters mirrored into ``persist.<backend>.*`` metric counters.
+_MIRRORED_COUNTERS = ("appends", "dedup_skips", "compactions", "reloads")
+
 
 class PersistentWitnessCache:
     """Witness paths for LTR verdicts, surviving process restarts.
 
-    One cache file may hold records for any number of (query, schema) pairs;
+    One store may hold records for any number of (query, schema) pairs;
     loads and seeds are scoped to one pair.  The cache is safe to share
-    across the oracles of one process (appends are lock-protected) and
-    across *sequential* processes (append-only writes; the last record per
-    key wins).  Concurrent writer processes are outside the contract — run
-    one server per cache file.
+    across the oracles of one process (all mutation is lock-protected).
+    Whether *concurrent processes* may share the underlying file is the
+    backend's call: JSONL supports sequential processes only (last record
+    per key wins), SQLite supports N concurrent writers.
+
+    Parameters
+    ----------
+    path:
+        Store file to open (mutually exclusive with ``store``).  The
+        backend is inferred from ``backend`` — ``"auto"`` picks SQLite for
+        ``.sqlite`` / ``.sqlite3`` / ``.db`` suffixes or files bearing the
+        SQLite magic, JSONL otherwise.
+    backend:
+        ``"auto"`` (default), ``"jsonl"``, or ``"sqlite"``.
+    store:
+        A prebuilt :class:`~repro.runtime.storage.WitnessStore` to use
+        instead of opening one from ``path``.
+    metrics:
+        An optional :class:`~repro.runtime.metrics.RuntimeMetrics`; when
+        attached, the cache mirrors backend counters as
+        ``persist.<backend>.appends`` / ``dedup_skips`` / ``compactions`` /
+        ``reloads`` and gauges ``persist.<backend>.records`` / ``bytes``.
+    store_options:
+        Extra keyword arguments for the backend constructor (compaction
+        triggers for JSONL, busy timeout for SQLite).
     """
 
-    def __init__(self, path: str) -> None:
-        self._path = os.fspath(path)
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        *,
+        backend: str = "auto",
+        store: Optional[WitnessStore] = None,
+        metrics=None,
+        store_options: Optional[dict] = None,
+    ) -> None:
+        if (path is None) == (store is None):
+            raise ValueError("pass exactly one of path or store")
+        if store is None:
+            store = open_witness_store(path, backend, **(store_options or {}))
+        self._store = store
+        self._metrics = metrics
         self._lock = threading.Lock()
-        #: (query token, schema token) -> {access token: (access spec, step specs)}
-        self._records: Optional[Dict[Tuple[str, str], Dict[str, Tuple]]] = None
-        #: (query token, schema token) -> decoded {access key: LtrWitness},
-        #: memoized because oracles seed at construction and a server
-        #: constructs oracles per answer call — re-decoding every stored
-        #: record per request would make warm restarts O(records) per query.
-        #: Invalidated whenever a new record lands for the pair.
-        self._decoded: Dict[Tuple[str, str], Dict[Hashable, LtrWitness]] = {}
-        self._appended: set = set()
-        self.stats: Dict[str, int] = {
+        #: (query token, schema token) -> (store generation at decode time,
+        #: decoded {access key: LtrWitness}).  Memoized because oracles seed
+        #: at construction and a server constructs oracles per answer call —
+        #: re-decoding every stored record per request would make warm
+        #: restarts O(records) per query.  Invalidated when the generation
+        #: token moves (a write by this or *any other* process).
+        self._decoded: Dict[
+            Tuple[str, str], Tuple[Hashable, Dict[Hashable, LtrWitness]]
+        ] = {}
+        #: Store counter values already mirrored into metrics.
+        self._mirrored: Dict[str, int] = {}
+        self._stats: Dict[str, int] = {
             "loaded": 0,
             "recorded": 0,
             "seeded": 0,
@@ -93,83 +132,71 @@ class PersistentWitnessCache:
         }
 
     @property
-    def path(self) -> str:
-        """The JSONL file backing the cache."""
-        return self._path
+    def path(self) -> Optional[str]:
+        """The file backing the cache (None for pathless stores)."""
+        return getattr(self._store, "path", None)
+
+    @property
+    def store(self) -> WitnessStore:
+        """The storage backend."""
+        return self._store
+
+    @property
+    def backend(self) -> str:
+        """The backend name (``jsonl`` / ``sqlite``)."""
+        return self._store.backend
+
+    def attach_metrics(self, metrics) -> None:
+        """Adopt a metrics sink if none is attached yet (idempotent)."""
+        with self._lock:
+            if self._metrics is None:
+                self._metrics = metrics
 
     # ------------------------------------------------------------------ #
     # Loading
     # ------------------------------------------------------------------ #
-    def _ensure_loaded(self) -> Dict[Tuple[str, str], Dict[str, Tuple]]:
-        with self._lock:
-            if self._records is not None:
-                return self._records
-            records: Dict[Tuple[str, str], Dict[str, Tuple]] = {}
-            if os.path.exists(self._path):
-                with open(self._path, "r", encoding="utf-8") as handle:
-                    for line in handle:
-                        line = line.strip()
-                        if not line:
-                            continue
-                        try:
-                            payload = json.loads(line)
-                            key = (payload["query"], payload["schema"])
-                            spec = (
-                                payload["method"],
-                                tuple(
-                                    decode_json_value(value)
-                                    for value in payload["binding"]
-                                ),
-                            )
-                            steps = decode_json_steps(payload["steps"])
-                        except Exception:
-                            # A truncated tail line (interrupted append) or a
-                            # foreign record: skip it, never fail the load.
-                            self.stats["skipped_undecodable"] += 1
-                            continue
-                        records.setdefault(key, {})[payload["access"]] = (spec, steps)
-                        self._appended.add(
-                            (key, payload["access"], witness_digest(steps))
-                        )
-                        self.stats["loaded"] += 1
-            self._records = records
-            return records
-
     def witnesses_for(self, query, schema: Schema) -> Dict[Hashable, LtrWitness]:
         """Decode the stored witnesses for one (query, schema) pair.
 
         Returns a mapping from the in-memory access key (``(method name,
         binding)`` — the key the oracle's witness cache uses) to the decoded
-        :class:`LtrWitness`.  Records whose steps no longer decode against
-        ``schema`` are skipped and counted.
+        :class:`LtrWitness`.  Records whose payload no longer decodes
+        against ``schema`` are skipped and counted.  The returned dict is a
+        **copy** — callers may mutate it freely without corrupting the memo
+        shared by every later oracle.
         """
-        records = self._ensure_loaded()
         key = (query_token(query), schema_token(schema))
         # Decode under the lock: the class promises safety when shared
         # across the oracles of one process, and an unlocked memo store
         # could both lose a concurrent record()'s invalidation and race the
-        # stats counters.  Decoding is modest (it only runs on a memo miss),
-        # so holding the lock for it is fine.
+        # stats counters.  Decoding is modest (it only runs when the store
+        # generation moved), so holding the lock for it is fine.
         with self._lock:
+            # Read the generation *before* the load: a write landing between
+            # the two makes the memo look stale next call (a harmless
+            # re-decode), never current-but-incomplete (a lost update).
+            generation = self._store.generation()
             cached = self._decoded.get(key)
-            if cached is not None:
-                return cached
-            scoped = records.get(key, {})
+            if cached is not None and cached[0] == generation:
+                return dict(cached[1])
+            payloads = self._store.load_pair(*key)
             decoded: Dict[Hashable, LtrWitness] = {}
-            for _atoken, (spec, step_specs) in scoped.items():
+            for _atoken, payload in payloads.items():
                 try:
+                    _key, _atok, spec, step_specs = decode_witness_record(payload)
                     steps = decode_witness_steps(step_specs, schema)
                 except Exception:
-                    self.stats["skipped_undecodable"] += 1
+                    self._stats["skipped_undecodable"] += 1
                     continue
                 method_name, binding = spec
                 decoded[(method_name, tuple(binding))] = LtrWitness(steps)
+            self._stats["loaded"] += len(decoded)
             # The decoded accesses reference *a* schema's method objects;
             # any equal schema works with them (all comparisons are by
             # value), so the memo is keyed by the structural tokens, not
             # object identity.
-            self._decoded[key] = decoded
-            return decoded
+            self._decoded[key] = (generation, decoded)
+            return dict(decoded)
 
     def seed(self, witness_cache, query, schema: Schema):
         """Copy stored witnesses into an in-memory witness cache.
@@ -188,9 +215,10 @@ class PersistentWitnessCache:
                     witness_cache.put(akey, witness)
                     seeded.append(akey)
             if tracer.enabled:
-                span.annotate(seeded=len(seeded))
+                span.annotate(seeded=len(seeded), backend=self._store.backend)
         with self._lock:
-            self.stats["seeded"] += len(seeded)
+            self._stats["seeded"] += len(seeded)
+        self._sync_metrics()
         return seeded
 
     # ------------------------------------------------------------------ #
@@ -204,51 +232,93 @@ class PersistentWitnessCache:
         witness: LtrWitness,
         configuration=None,
     ) -> bool:
-        """Append one captured witness path (deduplicated); True if written."""
+        """Store one captured witness path (deduplicated); True if written."""
         tracer = current_tracer()
         with tracer.span("persist.record") as span:
             written = self._record(query, schema, access, witness, configuration)
             if tracer.enabled:
-                span.annotate(written=written, method=access.method.name)
+                span.annotate(
+                    written=written,
+                    method=access.method.name,
+                    backend=self._store.backend,
+                )
         return written
 
     def _record(self, query, schema, access, witness, configuration) -> bool:
-        self._ensure_loaded()
         step_specs = encode_witness_steps(witness.steps)
+        qtoken, stoken = query_token(query), schema_token(schema)
         try:
-            json_steps = encode_json_steps(step_specs)
-            binding = [encode_json_value(value) for value in access.binding]
+            payload = encode_witness_record(
+                qtoken, stoken, access, step_specs, configuration
+            )
         except UnencodableValueError:
             with self._lock:
-                self.stats["skipped_unencodable"] += 1
+                self._stats["skipped_unencodable"] += 1
             return False
-        key = (query_token(query), schema_token(schema))
-        atoken = access_token(access)
-        dedup = (key, atoken, witness_digest(step_specs))
+        written = self._store.append(payload)
         with self._lock:
-            if dedup in self._appended:
-                return False
-            payload = {
-                "query": key[0],
-                "schema": key[1],
-                "access": atoken,
-                "method": access.method.name,
-                "binding": binding,
-                "steps": json_steps,
-            }
-            if configuration is not None:
-                payload["fingerprint"] = configuration_digest(configuration)
-            with open(self._path, "a", encoding="utf-8") as handle:
-                handle.write(json.dumps(payload, sort_keys=True) + "\n")
-            self._appended.add(dedup)
-            assert self._records is not None
-            self._records.setdefault(key, {})[atoken] = (
-                (access.method.name, tuple(access.binding)),
-                step_specs,
-            )
-            self._decoded.pop(key, None)
-            self.stats["recorded"] += 1
-        return True
+            if written:
+                self._stats["recorded"] += 1
+                self._decoded.pop((qtoken, stoken), None)
+        self._sync_metrics()
+        return written
+
+    # ------------------------------------------------------------------ #
+    # Maintenance and observability
+    # ------------------------------------------------------------------ #
+    def compact(self) -> CompactionResult:
+        """Compact the backend (see :meth:`WitnessStore.compact`)."""
+        result = self._store.compact()
+        with self._lock:
+            self._decoded.clear()
+        self._sync_metrics()
+        return result
+
+    @property
+    def stats(self) -> Dict[str, object]:
+        """Cache counters merged with the backend's, as a plain dict.
+
+        ``skipped_undecodable`` sums the cache's decode failures with the
+        store's (truncated lines, corrupt rows); the raw backend counters
+        are nested under ``"store"``.
+        """
+        store_stats = self._store.stats()
+        with self._lock:
+            merged: Dict[str, object] = dict(self._stats)
+        merged["skipped_undecodable"] = int(merged["skipped_undecodable"]) + int(
+            store_stats.get("skipped_undecodable", 0)
+        )
+        merged["backend"] = store_stats.get("backend", self._store.backend)
+        merged["store"] = store_stats
+        return merged
+
+    def _sync_metrics(self) -> None:
+        """Mirror backend counters/gauges into the attached metrics sink."""
+        with self._lock:
+            metrics = self._metrics
+        if metrics is None:
+            return
+        snapshot = self._store.stats()
+        backend = snapshot.get("backend", self._store.backend)
+        with self._lock:
+            for name in _MIRRORED_COUNTERS:
+                value = int(snapshot.get(name, 0))
+                delta = value - self._mirrored.get(name, 0)
+                if delta > 0:
+                    metrics.incr(f"persist.{backend}.{name}", delta)
+                    self._mirrored[name] = value
+        metrics.set_gauge(f"persist.{backend}.records", int(snapshot.get("records", 0)))
+        metrics.set_gauge(f"persist.{backend}.bytes", int(snapshot.get("bytes", 0)))
+
+    def close(self) -> None:
+        """Close the backend (idempotent)."""
+        self._store.close()
+
+    def __enter__(self) -> "PersistentWitnessCache":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"PersistentWitnessCache({self._path!r}, stats={self.stats})"
+        return f"PersistentWitnessCache({self._store!r})"

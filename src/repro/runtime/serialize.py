@@ -31,13 +31,14 @@ module adds what pickle cannot give:
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.data import AccessResponse, Configuration, Instance
 from repro.exceptions import ReproError
 from repro.schema import Access, Schema
 
 __all__ = [
+    "RECORD_VERSION",
     "UnencodableValueError",
     "access_spec",
     "access_token",
@@ -45,12 +46,15 @@ __all__ = [
     "decode_access",
     "decode_json_steps",
     "decode_json_value",
+    "decode_witness_record",
     "decode_witness_steps",
     "encode_json_steps",
     "encode_json_value",
+    "encode_witness_record",
     "encode_witness_steps",
     "instance_digest",
     "query_token",
+    "record_digest",
     "schema_canonical",
     "schema_token",
     "witness_digest",
@@ -258,4 +262,91 @@ def witness_digest(specs: Sequence[Sequence[object]]) -> str:
     """A stable digest of a witness path spec (used to deduplicate appends)."""
     return _digest(
         tuple((m, tuple(b), tuple(tuple(row) for row in f)) for m, b, f in specs)
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Witness records (the persistent stores' row format)
+# --------------------------------------------------------------------------- #
+#: Version tag stamped on every persisted witness record.  Bump it when the
+#: record shape changes incompatibly; stores keep unknown-version records as
+#: opaque payloads (compaction preserves them) while the decode layer skips
+#: them, counted under ``skipped_undecodable`` — a rolled-back reader never
+#: misinterprets a newer writer's rows.
+RECORD_VERSION = 1
+
+
+def encode_witness_record(
+    qtoken: str,
+    stoken: str,
+    access: Access,
+    step_specs: Sequence[Sequence[object]],
+    configuration: Optional[Configuration] = None,
+) -> dict:
+    """One persisted witness record as a JSON-ready payload dictionary.
+
+    ``step_specs`` is the :func:`encode_witness_steps` form of the witness
+    path.  Raises :class:`UnencodableValueError` when the binding or any fact
+    carries a value outside the JSON wire format.
+    """
+    payload = {
+        "v": RECORD_VERSION,
+        "query": qtoken,
+        "schema": stoken,
+        "access": access_token(access),
+        "method": access.method.name,
+        "binding": [encode_json_value(value) for value in access.binding],
+        "steps": encode_json_steps(step_specs),
+    }
+    if configuration is not None:
+        payload["fingerprint"] = configuration_digest(configuration)
+    return payload
+
+
+def decode_witness_record(
+    payload: dict,
+) -> Tuple[Tuple[str, str], str, Tuple[str, Tuple[object, ...]], Tuple]:
+    """Invert :func:`encode_witness_record`.
+
+    Returns ``((query token, schema token), access token, (method name,
+    binding), step specs)``.  Raises :class:`UnencodableValueError` on a
+    malformed payload or an unknown (newer) record version; records written
+    before the version tag existed decode as version 1.
+    """
+    if not isinstance(payload, dict):
+        raise UnencodableValueError(f"witness record is not an object: {payload!r}")
+    version = payload.get("v", 1)
+    if not isinstance(version, int) or version > RECORD_VERSION:
+        raise UnencodableValueError(
+            f"witness record version {version!r} is newer than supported "
+            f"version {RECORD_VERSION}"
+        )
+    try:
+        key = (payload["query"], payload["schema"])
+        atoken = payload["access"]
+        spec = (
+            payload["method"],
+            tuple(decode_json_value(value) for value in payload["binding"]),
+        )
+        steps = decode_json_steps(payload["steps"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise UnencodableValueError(f"malformed witness record: {exc}") from exc
+    return key, atoken, spec, steps
+
+
+def record_digest(payload: dict) -> str:
+    """A stable digest of a record's content (method + binding + steps).
+
+    This is what the stores deduplicate against: an append whose digest
+    equals the *currently stored* record for its key is a no-op, so repeated
+    warm runs re-recording the same witness never grow a store.  The key
+    fields themselves are excluded — they are the row identity, not content.
+    """
+    return _digest(
+        (
+            payload.get("v", 1),
+            payload.get("method"),
+            repr(payload.get("binding")),
+            repr(payload.get("steps")),
+        )
     )

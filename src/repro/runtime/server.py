@@ -51,7 +51,7 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
 from repro.data import Configuration
 from repro.exceptions import QueryError
@@ -60,6 +60,7 @@ from repro.runtime.cache import RelevanceOracle, access_key
 from repro.runtime.executor import AccessExecutor, candidate_accesses
 from repro.runtime.metrics import RuntimeMetrics
 from repro.runtime.persist import PersistentWitnessCache
+from repro.runtime.storage import WitnessStore
 from repro.runtime.procpool import ProcessRelevancePool
 from repro.runtime.screening import (
     CandidateScreen,
@@ -198,10 +199,16 @@ class QueryServer:
         by the server (closed by :meth:`close`); an explicit ``pool`` is
         attached as-is and left open.  The pool runs every query's fresh LTR
         searches — and the per-round certainty checks — concurrently.
-    cache_path / persist:
-        A :class:`PersistentWitnessCache` path (or instance): witness paths
+    cache_path / cache_backend / persist:
+        A :class:`PersistentWitnessCache` path (``cache_backend`` selects
+        ``"auto"`` / ``"jsonl"`` / ``"sqlite"`` storage — see
+        :mod:`repro.runtime.storage`), or a prebuilt cache or
+        :class:`~repro.runtime.storage.WitnessStore` instance: witness paths
         captured by any query are recorded, and every store warms up from it,
-        so a restarted server revalidates instead of searching fresh.
+        so a restarted server revalidates instead of searching fresh.  With
+        the SQLite backend one store file may be shared by N concurrent
+        server processes; the backend's generation counter invalidates each
+        process's decode memo, so worker A's records seed worker B.
     parallelism:
         Access-execution concurrency per round (source latency overlap),
         forwarded to the shared executor.
@@ -239,7 +246,8 @@ class QueryServer:
         search_workers: int = 1,
         pool: Optional[ProcessRelevancePool] = None,
         cache_path: Optional[str] = None,
-        persist: Optional[PersistentWitnessCache] = None,
+        cache_backend: str = "auto",
+        persist: Optional[Union[PersistentWitnessCache, WitnessStore]] = None,
         parallelism: int = 1,
         max_entries: Optional[int] = 65536,
         max_stores: int = 64,
@@ -259,9 +267,17 @@ class QueryServer:
         self._pool = (
             ProcessRelevancePool(search_workers) if self._own_pool else pool
         )
+        if isinstance(persist, WitnessStore):
+            persist = PersistentWitnessCache(store=persist)
         self._persist = (
-            PersistentWitnessCache(cache_path) if cache_path is not None else persist
+            PersistentWitnessCache(
+                cache_path, backend=cache_backend, metrics=self._metrics
+            )
+            if cache_path is not None
+            else persist
         )
+        if self._persist is not None:
+            self._persist.attach_metrics(self._metrics)
         self._parallelism = max(1, parallelism)
         self._max_entries = max_entries
         # An explicit tracer is activated for the span of every answer call;

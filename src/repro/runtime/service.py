@@ -433,15 +433,20 @@ class AnsweringService:
             )
             return
         if path == "/healthz" and method == "GET":
-            await self._send_json(
-                writer,
-                200,
-                {
-                    "status": "draining" if self._admission.draining else "ok",
-                    "queued": self._admission.queued,
-                    "inflight": self._admission.inflight,
-                },
-            )
+            health = {
+                "status": "draining" if self._admission.draining else "ok",
+                "queued": self._admission.queued,
+                "inflight": self._admission.inflight,
+            }
+            persist = self._server.persist
+            if persist is not None:
+                store_stats = persist.store.stats()
+                health["persistence"] = {
+                    "backend": persist.backend,
+                    "records": store_stats.get("records", 0),
+                    "bytes": store_stats.get("bytes", 0),
+                }
+            await self._send_json(writer, 200, health)
             return
         if path == "/queries" and method == "POST":
             await self._handle_submit(writer, params, headers, body)
