@@ -22,9 +22,21 @@ import time
 import pytest
 
 from repro.planner import exhaustive_strategy, relevance_guided_strategy
-from repro.runtime import RelevanceOracle, RuntimeMetrics, SharedVerdictStore
+from repro.runtime import (
+    BreakerBoard,
+    QueryServer,
+    RelevanceOracle,
+    RetryPolicy,
+    RuntimeMetrics,
+    SharedVerdictStore,
+)
 from repro.sources import build_bank_scenario
-from repro.workloads import diamond_scenario, fanout_scenario, wide_fanout_scenario
+from repro.workloads import (
+    diamond_scenario,
+    fanout_scenario,
+    flaky_scenario,
+    wide_fanout_scenario,
+)
 
 
 def _smoke() -> bool:
@@ -306,3 +318,52 @@ def test_delta_inheritance_on_irrelevant_growth(benchmark):
     assert first is True
     assert counters.get("oracle.delta_hits", 0) > 0, counters
     benchmark.extra_info.update(_reuse_counts(metrics))
+
+
+@pytest.mark.experiment("INC-retry-overhead")
+def test_retry_overhead_fault_free_bank():
+    """Resilience-overhead smoke: the fault-free guided bank run with a retry
+    policy and breaker board attached stays within 5% of the plain run.
+
+    The fault-free access path through the retry/breaker plumbing is a few
+    clock reads and dict lookups per source call; on the CPU-bound bank
+    workload (relevance searches dominate) it must disappear into the
+    profile.  Both sides take the min of three runs — the minima stay stable
+    on noisy shared runners even when single samples do not — and the
+    assertion is skipped in smoke mode (sub-second runs make a 5% bound
+    meaningless) while the ratio is always printed.  Both runs must answer
+    identically with nothing degraded: the policy objects may not change the
+    fault-free behavior, only its cost.
+    """
+    scenario = flaky_scenario("bank", n_queries=4 if _smoke() else 6)
+
+    def run(resilient: bool):
+        mediator = scenario.mediator(
+            chaos=False,
+            retry_policy=RetryPolicy(max_attempts=3) if resilient else None,
+            breakers=BreakerBoard(failure_threshold=5) if resilient else None,
+        )
+        with QueryServer(mediator) as server:
+            started = time.perf_counter()
+            result = server.answer(list(scenario.queries))
+            wall = time.perf_counter() - started
+        return result, wall
+
+    plain_wall = float("inf")
+    resilient_wall = float("inf")
+    for _ in range(3):
+        plain, wall = run(False)
+        plain_wall = min(plain_wall, wall)
+        resilient, wall = run(True)
+        resilient_wall = min(resilient_wall, wall)
+        assert resilient.answers == plain.answers
+        assert resilient.accesses_made == plain.accesses_made
+        assert not resilient.degraded
+
+    ratio = resilient_wall / plain_wall
+    print(
+        f"\nretry overhead (fault-free bank): {ratio:.3f}x "
+        f"({plain_wall * 1000:.0f}ms -> {resilient_wall * 1000:.0f}ms)"
+    )
+    if not _smoke():
+        assert ratio <= 1.05, f"resilience overhead {ratio:.3f}x exceeds the 5% budget"

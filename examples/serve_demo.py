@@ -51,7 +51,9 @@ import urllib.request
 from repro.planner import relevance_guided_strategy
 from repro.runtime import (
     AdmissionController,
+    BreakerBoard,
     QueryServer,
+    RetryPolicy,
     RuntimeMetrics,
     Tracer,
     explain_trace,
@@ -59,7 +61,7 @@ from repro.runtime import (
     serve_in_background,
     write_chrome_trace,
 )
-from repro.workloads import bank_multi_query_scenario
+from repro.workloads import bank_multi_query_scenario, flaky_scenario
 
 
 def main(backend: str = "jsonl") -> None:
@@ -246,6 +248,12 @@ def multiproc_demo(workers: int) -> None:
 
 
 def _post_json(url: str, document: dict) -> dict:
+    _status, parsed = _post_json_status(url, document)
+    return parsed
+
+
+def _post_json_status(url: str, document: dict) -> tuple:
+    """POST and return ``(status, parsed_body)`` (2xx only; 4xx/5xx raise)."""
     request = urllib.request.Request(
         url,
         data=json.dumps(document).encode("utf-8"),
@@ -253,7 +261,7 @@ def _post_json(url: str, document: dict) -> dict:
         method="POST",
     )
     with urllib.request.urlopen(request, timeout=120) as response:
-        return json.loads(response.read().decode("utf-8"))
+        return response.status, json.loads(response.read().decode("utf-8"))
 
 
 def serve(port: int, rate: float, round_budget: int) -> None:
@@ -346,6 +354,95 @@ def service_smoke() -> None:
     print("service smoke PASSED")
 
 
+def chaos_demo() -> None:
+    """The CI chaos smoke: faulty sources behind the full service stack.
+
+    A seeded flaky fanout scenario (transient faults everywhere, the hub
+    permanently down after two calls) is served over real HTTP with retries,
+    circuit breakers, and a per-query deadline armed.  Asserts the
+    fault-tolerance contract end to end: no query ends in the ``failed``
+    state, degraded outcomes surface as HTTP 206 with sound answer subsets,
+    and ``/healthz`` reports the breaker states.
+    """
+    # Transient faults everywhere, plus one branch source permanently down
+    # from its first call — the queries joining that branch cannot reach
+    # certainty and must retire degraded instead of failing or hanging.
+    scenario = flaky_scenario(
+        "fanout",
+        seed=11,
+        transient_rate=0.25,
+        hard_fail_after=0,
+        hard_fail_methods=("accB2",),
+        n_queries=6,
+    )
+    reference = QueryServer(scenario.mediator(chaos=False)).answer(
+        list(scenario.queries)
+    )
+    print(f"Chaos scenario {scenario.name}: {len(scenario.queries)} queries")
+    print("  fault-free answers:", list(reference.boolean_answers))
+
+    metrics = RuntimeMetrics()
+    mediator = scenario.mediator(
+        chaos=True,
+        retry_policy=RetryPolicy(max_attempts=4, base_backoff_s=0.005, seed=11),
+        breakers=BreakerBoard(failure_threshold=3, reset_timeout_s=30.0),
+        metrics=metrics,
+    )
+    server = QueryServer(mediator, metrics=metrics)
+    admission = AdmissionController(
+        deadline_s=30.0, pool=server.pool, metrics=metrics
+    )
+    handle = serve_in_background(server, admission=admission)
+    try:
+        status, document = _post_json_status(
+            f"{handle.base_url}/queries?wait=1",
+            {"queries": [str(q) for q in scenario.queries], "client": "chaos"},
+        )
+        served = document["queries"]
+        assert len(served) == len(scenario.queries), "served count mismatch"
+        degraded = [record for record in served if record["state"] == "degraded"]
+        failed = [record for record in served if record["state"] == "failed"]
+        assert not failed, f"chaos run must not fail queries outright: {failed}"
+        expected_status = 206 if degraded else 200
+        assert status == expected_status, (status, expected_status)
+        for record, outcome in zip(served, reference.outcomes):
+            answers = {
+                tuple(str(v) for v in row)
+                for row in record["outcome"]["answers"]
+            }
+            full = {tuple(str(v) for v in row) for row in outcome.answers}
+            assert answers <= full, (
+                f"degraded answers must be a sound subset: {record}"
+            )
+            if record["state"] == "degraded":
+                assert record["outcome"]["degraded"], record
+        print(
+            f"  served {len(served)} queries over HTTP {status}: "
+            f"{len(degraded)} degraded, 0 failed"
+        )
+
+        with urllib.request.urlopen(
+            f"{handle.base_url}/healthz", timeout=30
+        ) as response:
+            health = json.loads(response.read().decode("utf-8"))
+        assert "breakers" in health, health
+        print("  /healthz breakers:", health["breakers"])
+
+        counters = metrics.snapshot()["counters"]
+        for name in ("retry.attempts", "source.failures"):
+            assert counters.get(name, 0) > 0, f"expected {name} > 0"
+        print(
+            "  retries:", counters.get("retry.attempts", 0),
+            " recovered:", counters.get("retry.recovered", 0),
+            " gave up:", counters.get("retry.gave_up", 0),
+            " breaker fast-fails:", counters.get("breaker.fast_fail", 0),
+        )
+    finally:
+        handle.shutdown()
+        server.close()
+    print("chaos smoke PASSED")
+
+
 if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -356,6 +453,13 @@ if __name__ == "__main__":
         action="store_true",
         help="start the service, answer the bank batch over HTTP, assert "
         "equivalence with the in-process server (the CI smoke)",
+    )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="serve a seeded flaky scenario with retries, breakers, and "
+        "deadlines armed; assert degraded outcomes are sound (the CI "
+        "chaos smoke)",
     )
     parser.add_argument(
         "--backend",
@@ -385,7 +489,9 @@ if __name__ == "__main__":
         help="--serve per-query round fairness budget (0 = off)",
     )
     arguments = parser.parse_args()
-    if arguments.service_smoke:
+    if arguments.chaos:
+        chaos_demo()
+    elif arguments.service_smoke:
         service_smoke()
     elif arguments.serve:
         serve(arguments.port, arguments.rate, arguments.round_budget)

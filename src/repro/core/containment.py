@@ -28,11 +28,12 @@ conservative).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Iterator, Optional, Sequence, Tuple
 
 from repro.data import Configuration, Fact
-from repro.exceptions import QueryError
+from repro.exceptions import QueryError, SearchBudgetExceeded
 from repro.queries import (
     ConjunctiveQuery,
     PositiveQuery,
@@ -46,6 +47,7 @@ from repro.schema import Schema
 __all__ = [
     "ContainmentOptions",
     "ContainmentWitness",
+    "SearchDeadline",
     "find_non_containment_witness",
     "decide_containment",
     "decide_cm_containment",
@@ -72,6 +74,45 @@ class ContainmentOptions:
     support_value_choices: int = 2
     #: Global cap on nodes explored by each production-plan search.
     max_nodes: int = 20000
+    #: Wall-clock budget for one containment-*based* decision (the whole
+    #: subset sweep of ``is_ltr_via_containment_cq``, not each inner
+    #: containment call).  ``None`` disables the budget.  When the budget
+    #: trips, :class:`~repro.exceptions.SearchBudgetExceeded` is raised and
+    #: the relevance facade falls back to the sound direct witness search.
+    time_budget_s: Optional[float] = None
+
+
+class SearchDeadline:
+    """A monotonic wall-clock budget threaded through a containment sweep.
+
+    One instance covers a whole anytime decision (e.g. every subset the
+    LTR-via-containment reduction tries); the loops of
+    :func:`find_non_containment_witness` call :meth:`check` between
+    assignments so a single pathological search also respects it.
+    """
+
+    __slots__ = ("_expires_at", "checked")
+
+    def __init__(self, budget_s: float) -> None:
+        self._expires_at = time.monotonic() + budget_s
+        self.checked = 0
+
+    def expired(self) -> bool:
+        return time.monotonic() >= self._expires_at
+
+    def check(self) -> None:
+        """Raise :class:`SearchBudgetExceeded` once the budget is spent."""
+        self.checked += 1
+        if self.expired():
+            raise SearchBudgetExceeded(
+                "containment time budget exhausted", explored=self.checked
+            )
+
+    @classmethod
+    def from_options(cls, options: Optional[ContainmentOptions]) -> Optional["SearchDeadline"]:
+        if options is None or options.time_budget_s is None:
+            return None
+        return cls(options.time_budget_s)
 
 
 @dataclass(frozen=True)
@@ -104,11 +145,15 @@ def find_non_containment_witness(
     schema: Schema,
     configuration: Optional[Configuration] = None,
     options: Optional[ContainmentOptions] = None,
+    deadline: Optional[SearchDeadline] = None,
 ) -> Optional[ContainmentWitness]:
     """Search for a reachable configuration satisfying ``query1`` but not ``query2``.
 
     Returns a witness, or ``None`` when no witness was found within the
-    budgets (which the caller interprets as containment).
+    budgets (which the caller interprets as containment).  When ``deadline``
+    is given, the assignment loop raises
+    :class:`~repro.exceptions.SearchBudgetExceeded` as soon as the shared
+    wall-clock budget is spent (anytime mode; the caller owns the fallback).
     """
     options = options or ContainmentOptions()
     configuration = (
@@ -156,6 +201,8 @@ def find_non_containment_witness(
             max_assignments=options.max_assignments,
             atom_feasible=atom_feasible,
         ):
+            if deadline is not None:
+                deadline.check()
             target_facts = []
             feasible = True
             for atom in disjunct.atoms:
@@ -198,10 +245,11 @@ def decide_containment(
     schema: Schema,
     configuration: Optional[Configuration] = None,
     options: Optional[ContainmentOptions] = None,
+    deadline: Optional[SearchDeadline] = None,
 ) -> bool:
     """Decide ``query1 ⊑_{ACS, Conf} query2`` (config-containment)."""
     witness = find_non_containment_witness(
-        query1, query2, schema, configuration, options
+        query1, query2, schema, configuration, options, deadline
     )
     return witness is None
 

@@ -45,7 +45,7 @@ from repro.queries import (
 from repro.queries.terms import is_variable
 from repro.chase import iter_production_plans
 from repro.core.assignments import iter_witness_assignments
-from repro.core.containment import ContainmentOptions, decide_containment
+from repro.core.containment import ContainmentOptions, SearchDeadline, decide_containment
 from repro.core.reductions import ltr_to_containment
 from repro.schema import Access, Schema
 
@@ -436,6 +436,14 @@ def is_ltr_via_containment_cq(
     Verdicts are memoized in :func:`containment_cq_memo`, keyed by the
     canonical forms of every input the verdict depends on; the validation
     errors above the key construction are never cached.
+
+    Anytime mode: when ``options.time_budget_s`` is set, the whole subset
+    sweep shares one wall-clock budget and raises
+    :class:`~repro.exceptions.SearchBudgetExceeded` when it trips.  A
+    tripped decision is *not* memoized (the memo key carries no wall-clock,
+    and a budget-starved verdict must not shadow a later full one); the
+    relevance facade catches the exception and falls back to the sound,
+    more conservative direct witness search.
     """
     if not isinstance(query, ConjunctiveQuery):
         raise QueryError("Proposition 3.5 applies to conjunctive queries")
@@ -471,6 +479,7 @@ def _ltr_via_containment_cq_search(
     schema: Schema,
     options: Optional[ContainmentOptions],
 ) -> bool:
+    deadline = SearchDeadline.from_options(options)
     # Partition by occurrence *index*, not by atom equality: a query may
     # repeat a subgoal, and the membership split ``atom not in compatible``
     # silently moves every equal copy to the compatible side, conflating
@@ -491,6 +500,8 @@ def _ltr_via_containment_cq_search(
 
     for size in range(len(compatible_indices)):
         for subset in itertools.combinations(compatible_indices, size):
+            if deadline is not None:
+                deadline.check()
             lhs_atoms = [query.atoms[index] for index in subset] + others
             if not lhs_atoms:
                 # The empty conjunction is identically true; it is contained in
@@ -500,7 +511,9 @@ def _ltr_via_containment_cq_search(
                     return True
                 continue
             lhs = ConjunctiveQuery(tuple(lhs_atoms), (), f"{query.name}_guess")
-            if not decide_containment(lhs, query, schema, configuration, options):
+            if not decide_containment(
+                lhs, query, schema, configuration, options, deadline
+            ):
                 return True
     return False
 
@@ -530,4 +543,5 @@ def is_ltr_via_containment_pq(
         instance.schema,
         instance.configuration,
         options,
+        SearchDeadline.from_options(options),
     )

@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.data import Configuration
-from repro.exceptions import QueryError
+from repro.exceptions import QueryError, SearchBudgetExceeded
 from repro.queries import ConjunctiveQuery
 from repro.core.containment import ContainmentOptions
 from repro.core.immediate import is_immediately_relevant
@@ -50,6 +50,7 @@ def is_long_term_relevant(
     *,
     method: str = "auto",
     options: Optional[ContainmentOptions] = None,
+    on_budget_trip=None,
 ) -> bool:
     """Decide whether ``access`` is long-term relevant for a Boolean ``query``.
 
@@ -64,7 +65,13 @@ def is_long_term_relevant(
         independent); ``"single-occurrence"`` forces Proposition 4.3.
     """
     verdict, _steps = long_term_relevance_with_witness(
-        query, access, configuration, schema, method=method, options=options
+        query,
+        access,
+        configuration,
+        schema,
+        method=method,
+        options=options,
+        on_budget_trip=on_budget_trip,
     )
     return verdict
 
@@ -77,6 +84,7 @@ def long_term_relevance_with_witness(
     *,
     method: str = "auto",
     options: Optional[ContainmentOptions] = None,
+    on_budget_trip=None,
 ):
     """Decide long-term relevance, returning ``(verdict, steps)``.
 
@@ -87,6 +95,14 @@ def long_term_relevance_with_witness(
     is the direct search and the verdict is positive; ``None`` otherwise —
     the reduction-based and independent-schema procedures decide without
     constructing a reusable path.
+
+    Anytime mode: with ``options.time_budget_s`` set, a containment-based
+    procedure that trips its wall-clock budget
+    (:class:`~repro.exceptions.SearchBudgetExceeded`) falls back to the
+    direct bounded witness search — sound and more conservative, and it may
+    even return a reusable witness path the reduction could not.
+    ``on_budget_trip`` (if given) is invoked once per fallback, before the
+    direct search runs — the oracle hooks its budget-trip counter here.
     """
     if not query.is_boolean:
         raise QueryError(
@@ -95,19 +111,35 @@ def long_term_relevance_with_witness(
         )
 
     if method == "containment-cq":
-        return (
-            is_ltr_via_containment_cq(
+        try:
+            return (
+                is_ltr_via_containment_cq(
+                    query, access, configuration, schema, options=options
+                ),
+                None,
+            )
+        except SearchBudgetExceeded:
+            if on_budget_trip is not None:
+                on_budget_trip()
+            steps = find_ltr_witness_steps(
                 query, access, configuration, schema, options=options
-            ),
-            None,
-        )
+            )
+            return steps is not None, steps
     if method == "containment-pq":
-        return (
-            is_ltr_via_containment_pq(
+        try:
+            return (
+                is_ltr_via_containment_pq(
+                    query, access, configuration, schema, options=options
+                ),
+                None,
+            )
+        except SearchBudgetExceeded:
+            if on_budget_trip is not None:
+                on_budget_trip()
+            steps = find_ltr_witness_steps(
                 query, access, configuration, schema, options=options
-            ),
-            None,
-        )
+            )
+            return steps is not None, steps
     if method == "independent":
         return is_ltr_independent(query, access, configuration, schema), None
     if method == "single-occurrence":

@@ -32,6 +32,54 @@ class AccessError(ReproError):
     Raised, for instance, when a dependent access is attempted with a binding
     value that is not in the active domain of the current configuration, or
     when a response contains tuples that do not match the binding.
+
+    When raised out of a batch (``Mediator.perform_many``), the error carries
+    the failing :class:`~repro.sources.accesses.Access` in ``access``, the
+    ``(access, duration)`` pairs merged before the failure in ``timings``, and
+    the number of source-call attempts spent on the failing access in
+    ``attempts``, so callers and spans can report *which* access failed and
+    what the batch had already accomplished.
+    """
+
+    access = None
+    timings = ()
+    attempts = 1
+
+
+class TransientAccessError(AccessError):
+    """A source failed in a way that is expected to clear on retry.
+
+    The simulated analogue of a dropped connection, a 5xx from a flaky
+    replica, or a brief overload.  :class:`repro.runtime.retry.RetryPolicy`
+    classifies this (and :class:`MalformedResponseError`) as retryable.
+    """
+
+
+class MalformedResponseError(AccessError):
+    """A source returned bytes that do not parse as a well-formed response.
+
+    Modeled as retryable: a garbled payload from a proxy or a truncated
+    stream is usually transient, and a retry reaches a healthy replica.
+    """
+
+
+class CircuitOpenError(AccessError):
+    """An access was rejected without calling the source: its breaker is open.
+
+    Raised by the resilient access path when the per-source
+    :class:`~repro.runtime.retry.CircuitBreaker` has seen too many
+    consecutive failures and is failing fast instead of queueing doomed work.
+    Not retryable within the batch; the breaker's reset timeout governs when
+    the source is probed again.
+    """
+
+
+class DeadlineExceeded(ReproError):
+    """A per-query or per-batch deadline expired before the work completed.
+
+    In-flight accesses abandoned at the deadline are reported with this
+    error; they are never merged into the configuration, so the degraded
+    answer stays sound (computed only from facts actually retrieved).
     """
 
 

@@ -39,6 +39,7 @@ from repro.queries import certain_answers
 from repro.runtime import (
     AccessExecutor,
     CandidateScreen,
+    Deadline,
     PersistentWitnessCache,
     ProcessRelevancePool,
     RelevanceOracle,
@@ -56,7 +57,15 @@ __all__ = ["AnsweringResult", "exhaustive_strategy", "relevance_guided_strategy"
 
 @dataclass(frozen=True)
 class AnsweringResult:
-    """Outcome of a dynamic answering run."""
+    """Outcome of a dynamic answering run.
+
+    ``degraded`` marks a *sound but possibly incomplete* run: accesses
+    failed past their retries (their keys are in ``failed_accesses``) or
+    the run's deadline expired before certainty.  The answers are still the
+    certain answers at the facts actually merged — by monotonicity a subset
+    of the fault-free answers, never a wrong claim.  ``attempts`` totals
+    the source-call attempts (including retries) the run spent.
+    """
 
     answers: FrozenSet[Tuple[object, ...]]
     accesses_made: int
@@ -64,6 +73,9 @@ class AnsweringResult:
     relevance_checks: int = 0
     cache_hits: int = 0
     rounds_exhausted: bool = False
+    degraded: bool = False
+    failed_accesses: Tuple[Tuple[str, Tuple[object, ...]], ...] = ()
+    attempts: int = 0
 
     @property
     def boolean_answer(self) -> bool:
@@ -78,6 +90,9 @@ def _result(
     relevance_checks: int,
     cache_hits: int,
     rounds_exhausted: bool = False,
+    degraded: bool = False,
+    failed_accesses: Tuple[Tuple[str, Tuple[object, ...]], ...] = (),
+    attempts: int = 0,
 ) -> AnsweringResult:
     final_configuration = mediator.configuration_view
     answers = certain_answers(query, final_configuration)
@@ -88,6 +103,9 @@ def _result(
         relevance_checks=relevance_checks,
         cache_hits=cache_hits,
         rounds_exhausted=rounds_exhausted,
+        degraded=degraded,
+        failed_accesses=failed_accesses,
+        attempts=attempts,
     )
 
 
@@ -173,6 +191,8 @@ def relevance_guided_strategy(
     cache_path: Optional[str] = None,
     cache_backend: str = "auto",
     tracer: Optional[TracerLike] = None,
+    deadline_s: Optional[float] = None,
+    tolerate_failures: bool = False,
 ) -> AnsweringResult:
     """Only perform accesses that are relevant for the query.
 
@@ -229,6 +249,16 @@ def relevance_guided_strategy(
 
     If ``max_rounds`` ends the run before certainty or a no-progress
     fixpoint, the result is flagged ``rounds_exhausted``.
+
+    ``deadline_s`` gives the run a wall-clock budget: rounds stop at
+    expiry, batch waits never outlast it, and a hung source is abandoned
+    unmerged rather than blocking the run.  ``tolerate_failures`` keeps the
+    run going when an access fails past the mediator's retry policy (the
+    failing key lands in ``failed_accesses``) instead of raising the
+    enriched :class:`~repro.exceptions.AccessError`; a deadline implies
+    tolerance (an abandoned access must not abort the batchmates that did
+    respond).  Either way the result flags ``degraded`` when faults cost
+    the run certainty — the answers are then a sound subset.
 
     ``tracer`` activates span recording for the run: a root ``query`` span,
     one ``round`` span per round, and under each round the screening,
@@ -307,6 +337,12 @@ def relevance_guided_strategy(
     relevance_checks = 0
     hits_before = oracle.cache_hits
     facts_before = len(mediator.configuration_view)
+    deadline = Deadline.after(deadline_s) if deadline_s is not None else None
+    # A deadline implies tolerance: expiry abandons in-flight accesses as
+    # failures, which must degrade the run, not abort it.
+    tolerate = tolerate_failures or deadline is not None
+    failed_keys = set()
+    attempts_total = 0
 
     def done(configuration: Configuration) -> bool:
         return query.is_boolean and oracle.is_certain(configuration)
@@ -373,12 +409,21 @@ def relevance_guided_strategy(
             stop=lambda: done(mediator.configuration_view),
             max_concurrency=parallelism,
             on_response=oracle.absorb_response,
+            deadline=deadline,
+            tolerate_failures=tolerate,
         )
+        nonlocal attempts_total
+        for access, _error, _attempts in batch.failed:
+            failed_keys.add(executor.key(access))
+        attempts_total += sum(batch.attempts_by_key.values())
         return not batch.progressed or done(mediator.configuration_view)
 
     def _guided_rounds(active: TracerLike) -> bool:
         """Run the answering rounds; returns the rounds-exhausted flag."""
         for round_index in range(max_rounds):
+            if deadline is not None and deadline.expired():
+                executor.metrics.incr("deadline.expired")
+                break
             executor.metrics.incr("strategy.rounds")
             round_started = time.perf_counter()
             with active.span("round", index=round_index):
@@ -413,6 +458,13 @@ def relevance_guided_strategy(
             own_pool.close()
     executor.metrics.observe("query.latency", time.perf_counter() - started)
 
+    # Degraded = faults actually cost the run something.  For Boolean
+    # queries certainty at the final configuration clears the flag (the
+    # failures were moot); non-Boolean runs stay conservatively degraded.
+    deadline_hit = deadline is not None and deadline.expired()
+    degraded = bool(failed_keys) or deadline_hit
+    if degraded and done(mediator.configuration_view):
+        degraded = False
     return _result(
         mediator,
         query,
@@ -420,4 +472,7 @@ def relevance_guided_strategy(
         relevance_checks,
         oracle.cache_hits - hits_before,
         rounds_exhausted=exhausted,
+        degraded=degraded,
+        failed_accesses=tuple(sorted(failed_keys, key=repr)),
+        attempts=attempts_total,
     )

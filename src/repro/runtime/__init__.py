@@ -48,7 +48,13 @@ needs around the paper's decision procedures:
 * :class:`~repro.runtime.admission.AdmissionController` — the service's
   per-client token-bucket rate limits, in-flight quotas, queue/pool
   backpressure (429/503 + ``Retry-After``), and round/access fairness
-  budgets.
+  budgets;
+* :mod:`~repro.runtime.retry` — the fault-tolerance primitives: seeded
+  :class:`~repro.runtime.retry.RetryPolicy` backoff, per-source
+  :class:`~repro.runtime.retry.CircuitBreaker` state machines (grouped in a
+  :class:`~repro.runtime.retry.BreakerBoard`), and the monotonic
+  :class:`~repro.runtime.retry.Deadline` the server propagates into batch
+  waits so degraded answers stay sound instead of hanging.
 """
 
 from repro.runtime.admission import (
@@ -68,6 +74,12 @@ from repro.runtime.export import (
 from repro.runtime.metrics import LatencyHistogram, RuntimeMetrics
 from repro.runtime.persist import PersistentWitnessCache
 from repro.runtime.procpool import ProcessRelevancePool, default_search_workers
+from repro.runtime.retry import (
+    BreakerBoard,
+    CircuitBreaker,
+    Deadline,
+    RetryPolicy,
+)
 from repro.runtime.screening import CandidateScreen, relevant_relation_closure
 from repro.runtime.server import MultiQueryMediator, QueryOutcome, QueryServer, ServerResult
 from repro.runtime.service import AnsweringService, ServiceHandle, serve_in_background
@@ -101,9 +113,12 @@ __all__ = [
     "AdmissionDecision",
     "AnsweringService",
     "BatchResult",
+    "BreakerBoard",
     "CandidateScreen",
+    "CircuitBreaker",
     "CompactionResult",
     "ConfigurationSnapshot",
+    "Deadline",
     "JsonlWitnessStore",
     "LRUCache",
     "LatencyHistogram",
@@ -116,6 +131,7 @@ __all__ = [
     "QueryOutcome",
     "QueryServer",
     "RelevanceOracle",
+    "RetryPolicy",
     "RuntimeMetrics",
     "ServerResult",
     "ServiceHandle",

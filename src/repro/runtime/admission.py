@@ -138,6 +138,11 @@ class AdmissionController:
     round_budget / access_budget:
         Per-query fairness budgets handed to every admitted query (see
         :meth:`budgets_for`); ``None`` disables.
+    deadline_s:
+        Per-query wall-clock budget in seconds handed to every admitted
+        query (see :meth:`deadlines_for`); the server retires a query at
+        expiry with a sound ``degraded`` outcome instead of letting it
+        (or a hung source) run unbounded.  ``None`` disables.
     retry_after_s:
         The ``Retry-After`` hint on 503 rejections, where no better number
         exists (429s compute theirs from the bucket's refill rate).
@@ -160,6 +165,7 @@ class AdmissionController:
         pool_backlog_factor: float = 2.0,
         round_budget: Optional[int] = None,
         access_budget: Optional[int] = None,
+        deadline_s: Optional[float] = None,
         retry_after_s: float = 1.0,
         metrics: Optional[RuntimeMetrics] = None,
         clock: Callable[[], float] = time.monotonic,
@@ -173,8 +179,11 @@ class AdmissionController:
         self._max_queued = max(1, max_queued)
         self._pool = pool
         self._pool_backlog_factor = pool_backlog_factor
+        if deadline_s is not None and deadline_s <= 0.0:
+            raise ValueError("deadline_s must be positive (or None to disable)")
         self.round_budget = round_budget
         self.access_budget = access_budget
+        self.deadline_s = deadline_s
         self._retry_after = retry_after_s
         self._metrics = metrics if metrics is not None else RuntimeMetrics()
         self._clock = clock
@@ -304,6 +313,14 @@ class AdmissionController:
             else None
         )
         return rounds, accesses
+
+    def deadlines_for(self, n_queries: int) -> Optional[List[Optional[float]]]:
+        """The per-query deadline seconds for a batch (shape of
+        :meth:`budgets_for`): uniform ``deadline_s`` entries, or ``None``
+        when the service runs without deadlines."""
+        if self.deadline_s is None:
+            return None
+        return [self.deadline_s] * n_queries
 
     # ------------------------------------------------------------------ #
     # Internals

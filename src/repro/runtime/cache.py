@@ -414,8 +414,17 @@ class RelevanceOracle:
                 self._witnesses.discard(akey)
 
         self._metrics.incr("oracle.fresh_searches")
-        with tracer.span("fresh-search"):
+        with tracer.span("fresh-search") as search_span:
             with self._metrics.timer("oracle.long_term"):
+
+                def budget_tripped() -> None:
+                    # Anytime containment: the reduction blew its wall-clock
+                    # budget and the facade is falling back to the sound
+                    # direct search.  Counted here so operators can see how
+                    # often the budget is doing its job.
+                    self._metrics.incr("oracle.containment_budget_tripped")
+                    search_span.annotate(budget_tripped=True)
+
                 verdict, steps = long_term_relevance_with_witness(
                     self._query,
                     access,
@@ -423,6 +432,7 @@ class RelevanceOracle:
                     self._schema,
                     method=self._ltr_method,
                     options=self._options,
+                    on_budget_trip=budget_tripped,
                 )
         witness = LtrWitness(tuple(steps)) if steps else None
         self._record_ltr(akey, key, verdict, configuration, witness=witness, access=access)

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.data import AccessResponse, Configuration, Fact
+from repro.exceptions import DeadlineExceeded
 from repro.runtime.cache import access_key
 from repro.runtime.metrics import RuntimeMetrics
 from repro.runtime.tracing import current_tracer
@@ -71,12 +72,23 @@ def candidate_accesses(
 
 @dataclass
 class BatchResult:
-    """Outcome of a batch of accesses."""
+    """Outcome of a batch of accesses.
+
+    ``failed`` lists ``(access, error, attempts)`` for accesses that could
+    not be performed (only populated in degraded mode, i.e. when the batch
+    ran with ``tolerate_failures=True``); ``attempts_by_key`` maps each
+    access key that reached a source to its source-call attempt count
+    (1 unless the retry policy kicked in); ``deadline_expired`` records that
+    the batch's deadline cut it short.
+    """
 
     responses: List[AccessResponse] = field(default_factory=list)
     performed: int = 0
     skipped: int = 0
     new_facts: int = 0
+    failed: List[Tuple[Access, BaseException, int]] = field(default_factory=list)
+    attempts_by_key: Dict[Tuple[str, Tuple[object, ...]], int] = field(default_factory=dict)
+    deadline_expired: bool = False
 
     @property
     def facts_returned(self) -> int:
@@ -165,6 +177,8 @@ class AccessExecutor:
         max_concurrency: int = 1,
         annotate_access: Optional[Callable[[Access], Optional[Dict[str, object]]]] = None,
         on_response: Optional[Callable[[AccessResponse], None]] = None,
+        deadline=None,
+        tolerate_failures: bool = False,
     ) -> BatchResult:
         """Perform every not-yet-performed access of the batch.
 
@@ -195,6 +209,18 @@ class AccessExecutor:
         query server passes the screening layer's why-was-this-performed
         annotations here.  Per-access latency always lands in the
         ``access.latency`` and ``access.latency.<method>`` histograms.
+
+        Fault tolerance: with ``tolerate_failures=True`` a failing access
+        does not abort the batch — it lands in ``result.failed`` as
+        ``(access, error, attempts)`` and its batchmates proceed; the access
+        is *not* marked performed, so a later round (or ``answer`` call) may
+        retry it.  ``deadline`` bounds the batch through
+        :meth:`Mediator.perform_many`: after expiry nothing new is
+        dispatched, hung in-flight work is abandoned unmerged, and
+        ``result.deadline_expired`` is set.  With both left at their
+        defaults the batch is bit-identical to the pre-fault-tolerance
+        behavior (first failure raises, enriched with ``error.access`` and
+        partial ``error.timings``).
         """
         result = BatchResult()
 
@@ -232,6 +258,17 @@ class AccessExecutor:
             self._metrics.observe("access.latency", duration)
             self._metrics.observe(f"access.latency.{access.method.name}", duration)
 
+        def on_attempts(access: Access, attempts: int) -> None:
+            result.attempts_by_key[self.key(access)] = attempts
+
+        def on_failure(access: Access, error: BaseException, attempts: int) -> None:
+            result.failed.append((access, error, attempts))
+            if attempts:
+                result.attempts_by_key[self.key(access)] = attempts
+            if isinstance(error, DeadlineExceeded):
+                result.deadline_expired = True
+            self._metrics.incr("executor.failed")
+
         tracer = current_tracer()
         with tracer.span(
             "access-batch",
@@ -245,11 +282,18 @@ class AccessExecutor:
                 should_perform=should_perform if precheck is not None else None,
                 on_performed=on_performed,
                 on_timing=on_timing,
+                on_attempts=on_attempts,
+                on_failure=on_failure if tolerate_failures else None,
                 tags_for=annotate_access,
+                deadline=deadline,
             )
+            if deadline is not None and deadline.expired():
+                result.deadline_expired = True
             batch_span.annotate(
                 performed=result.performed,
                 skipped=result.skipped,
                 new_facts=result.new_facts,
             )
+            if result.failed:
+                batch_span.annotate(failed=len(result.failed))
         return result

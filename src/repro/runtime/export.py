@@ -216,6 +216,11 @@ _EXPLAIN_TAGS = (
     "seeded",
     "chunks",
     "remote",
+    "attempt",
+    "gave_up",
+    "breaker",
+    "error",
+    "degraded",
 )
 
 

@@ -1,0 +1,340 @@
+"""Fault-tolerance primitives for the access path: deadlines, retries, breakers.
+
+Three small, composable pieces:
+
+* :class:`Deadline` — a monotonic-clock budget carried from the service
+  layer down into executor waits.  ``remaining()``/``expired()`` are the
+  whole API; a ``None`` deadline everywhere means "unlimited".
+* :class:`RetryPolicy` — bounded attempts with exponential backoff and
+  *deterministic* full jitter.  The jitter fraction is drawn from a
+  ``blake2b`` hash of ``(seed, method, binding, attempt)`` — the same idiom
+  :class:`~repro.sources.service.DataSource` uses for completeness draws —
+  so a chaos run's retry schedule is reproducible per seed, across threads
+  and processes.
+* :class:`CircuitBreaker` / :class:`BreakerBoard` — the per-source
+  closed → open → half-open state machine.  While open, ``allow()`` rejects
+  immediately (fail fast, no source call); after ``reset_timeout_s`` the
+  breaker admits exactly **one** half-open probe at a time, under any
+  number of concurrent callers, and closes or re-opens on the probe's
+  outcome.  The board lazily keeps one breaker per access method and
+  mirrors state transitions into ``breaker.*`` counters and
+  ``breaker.state.<method>`` gauges.
+
+Everything here is pure bookkeeping — no source calls, no merges — so the
+fault-free fast path through these objects is a few dict/clock operations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.exceptions import (
+    CircuitOpenError,
+    DeadlineExceeded,
+    MalformedResponseError,
+    TransientAccessError,
+)
+
+__all__ = [
+    "BreakerBoard",
+    "CircuitBreaker",
+    "Deadline",
+    "RetryPolicy",
+    "stable_fraction",
+]
+
+
+def stable_fraction(*parts: object) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` from hashable parts.
+
+    Mirrors ``DataSource._keeps``: a ``blake2b`` digest of the ``repr`` of
+    the parts, mapped to a fraction.  Stable across processes and Python
+    hash randomization, unlike ``hash()``.
+    """
+    digest = hashlib.blake2b(repr(parts).encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") / float(1 << 64)
+
+
+class Deadline:
+    """A point on the monotonic clock by which work must finish.
+
+    Construct with :meth:`after`; pass ``None`` seconds for an unlimited
+    deadline (``remaining()`` is ``inf``, ``expired()`` is always False) so
+    call sites can thread one object through without branching.
+    """
+
+    __slots__ = ("_expires_at", "_clock")
+
+    def __init__(self, expires_at: Optional[float], clock: Callable[[], float] = time.monotonic):
+        self._expires_at = expires_at
+        self._clock = clock
+
+    @classmethod
+    def after(
+        cls, seconds: Optional[float], clock: Callable[[], float] = time.monotonic
+    ) -> "Deadline":
+        """Deadline ``seconds`` from now; ``None`` means unlimited."""
+        if seconds is None:
+            return cls(None, clock)
+        return cls(clock() + float(seconds), clock)
+
+    @property
+    def unlimited(self) -> bool:
+        return self._expires_at is None
+
+    def remaining(self) -> float:
+        """Seconds left (may be negative once expired); ``inf`` if unlimited."""
+        if self._expires_at is None:
+            return float("inf")
+        return self._expires_at - self._clock()
+
+    def expired(self) -> bool:
+        return self._expires_at is not None and self._clock() >= self._expires_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._expires_at is None:
+            return "Deadline(unlimited)"
+        return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and deterministic full jitter.
+
+    ``max_attempts`` counts *total* attempts (1 = no retries).  The backoff
+    before attempt ``n+1`` is ``uniform(0, min(max_backoff_s,
+    base_backoff_s * 2**(n-1)))`` — full jitter à la the AWS architecture
+    blog — with the uniform draw replaced by :func:`stable_fraction` of
+    ``(seed, method, binding, n)`` so two runs with the same seed retry on
+    an identical schedule.
+    """
+
+    max_attempts: int = 3
+    base_backoff_s: float = 0.05
+    max_backoff_s: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff durations must be >= 0")
+
+    def is_retryable(self, error: BaseException) -> bool:
+        """Transient/malformed source failures retry; everything else is fatal.
+
+        :class:`~repro.exceptions.CircuitOpenError` and
+        :class:`~repro.exceptions.DeadlineExceeded` are always fatal —
+        retrying them inside the batch would just burn the budget the
+        breaker/deadline exists to protect.
+        """
+        if isinstance(error, (CircuitOpenError, DeadlineExceeded)):
+            return False
+        if isinstance(error, (TransientAccessError, MalformedResponseError)):
+            return True
+        # Real deployments see socket-level trouble as OSError/TimeoutError.
+        return isinstance(error, (ConnectionError, TimeoutError))
+
+    def backoff_s(self, method: str, binding: Tuple, attempt: int) -> float:
+        """Backoff to sleep after failed attempt number ``attempt`` (1-based)."""
+        cap = min(self.max_backoff_s, self.base_backoff_s * (2 ** max(0, attempt - 1)))
+        return cap * stable_fraction(self.seed, "backoff", method, binding, attempt)
+
+
+class CircuitBreaker:
+    """Per-source closed → open → half-open breaker, safe under concurrency.
+
+    * **closed** — all calls admitted; ``failure_threshold`` *consecutive*
+      failures trip it open.
+    * **open** — ``allow()`` returns False (callers fail fast) until
+      ``reset_timeout_s`` has elapsed since it opened.
+    * **half-open** — exactly one caller at a time is admitted as a probe;
+      everyone else keeps failing fast until the probe reports back via
+      :meth:`record_success` (→ closed) or :meth:`record_failure` (→ open,
+      timer restarted).
+
+    The single-probe guarantee holds because ``allow()`` reserves the probe
+    slot under the breaker's lock before returning True.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    __slots__ = (
+        "_lock",
+        "_state",
+        "_failures",
+        "_opened_at",
+        "_probe_inflight",
+        "failure_threshold",
+        "reset_timeout_s",
+        "_clock",
+        "_on_transition",
+    )
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Optional[Callable[[str, str], None]] = None,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self._clock = clock
+        self._on_transition = on_transition
+
+    def _transition(self, new_state: str) -> None:
+        # Called with the lock held.
+        old = self._state
+        self._state = new_state
+        if old != new_state and self._on_transition is not None:
+            self._on_transition(old, new_state)
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """True if the caller may attempt a source call *now*.
+
+        In half-open this *reserves* the single probe slot; the caller that
+        got True must report back with :meth:`record_success` or
+        :meth:`record_failure` to release it.
+        """
+        with self._lock:
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.OPEN:
+                if self._clock() - self._opened_at < self.reset_timeout_s:
+                    return False
+                self._transition(self.HALF_OPEN)
+                self._probe_inflight = True
+                return True
+            # half-open: admit at most one probe at a time.
+            if self._probe_inflight:
+                return False
+            self._probe_inflight = True
+            return True
+
+    def fail_fast(self) -> bool:
+        """True if a call dispatched now would certainly be rejected.
+
+        Unlike :meth:`allow` this never mutates state — the dispatch thread
+        uses it to skip queueing doomed work without consuming the half-open
+        probe slot a worker thread should claim.
+        """
+        with self._lock:
+            if self._state == self.OPEN:
+                return self._clock() - self._opened_at < self.reset_timeout_s
+            if self._state == self.HALF_OPEN:
+                return self._probe_inflight
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._probe_inflight = False
+            if self._state != self.CLOSED:
+                self._transition(self.CLOSED)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._probe_inflight = False
+            self._failures += 1
+            if self._state == self.HALF_OPEN or (
+                self._state == self.CLOSED and self._failures >= self.failure_threshold
+            ):
+                self._opened_at = self._clock()
+                self._transition(self.OPEN)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CircuitBreaker(state={self.state!r}, threshold={self.failure_threshold})"
+
+
+#: Gauge encoding for breaker states (0 is healthy so dashboards sum to 0).
+_STATE_GAUGE = {
+    CircuitBreaker.CLOSED: 0,
+    CircuitBreaker.HALF_OPEN: 1,
+    CircuitBreaker.OPEN: 2,
+}
+
+
+class BreakerBoard:
+    """One :class:`CircuitBreaker` per access method, created lazily.
+
+    Mirrors transitions into the metrics sink when one is attached:
+    ``breaker.opened`` / ``breaker.closed`` / ``breaker.half_open_probes``
+    counters and a ``breaker.state.<method>`` gauge (0 closed, 1 half-open,
+    2 open).  :meth:`states` snapshots the board for ``/healthz``.
+    """
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+        metrics=None,
+    ):
+        self._lock = threading.Lock()
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self._clock = clock
+        self._metrics = metrics
+
+    def attach_metrics(self, metrics) -> None:
+        self._metrics = metrics
+
+    def _record_transition(self, method: str, old: str, new: str) -> None:
+        metrics = self._metrics
+        if metrics is None:
+            return
+        if new == CircuitBreaker.OPEN:
+            metrics.incr("breaker.opened")
+        elif new == CircuitBreaker.CLOSED:
+            metrics.incr("breaker.closed")
+        elif new == CircuitBreaker.HALF_OPEN:
+            metrics.incr("breaker.half_open_probes")
+        metrics.set_gauge(f"breaker.state.{method}", _STATE_GAUGE[new])
+
+    def breaker_for(self, method: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(method)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    failure_threshold=self.failure_threshold,
+                    reset_timeout_s=self.reset_timeout_s,
+                    clock=self._clock,
+                    on_transition=lambda old, new, _m=method: self._record_transition(
+                        _m, old, new
+                    ),
+                )
+                self._breakers[method] = breaker
+                if self._metrics is not None:
+                    self._metrics.set_gauge(f"breaker.state.{method}", 0)
+            return breaker
+
+    def states(self) -> Dict[str, str]:
+        """Snapshot of per-method breaker states (for ``/healthz``)."""
+        with self._lock:
+            breakers = dict(self._breakers)
+        return {method: breaker.state for method, breaker in sorted(breakers.items())}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BreakerBoard({self.states()!r})"

@@ -50,6 +50,7 @@ from __future__ import annotations
 
 import time
 from collections import OrderedDict
+from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
@@ -62,6 +63,7 @@ from repro.runtime.metrics import RuntimeMetrics
 from repro.runtime.persist import PersistentWitnessCache
 from repro.runtime.storage import WitnessStore
 from repro.runtime.procpool import ProcessRelevancePool
+from repro.runtime.retry import Deadline
 from repro.runtime.screening import (
     CandidateScreen,
     access_is_relevant,
@@ -89,6 +91,14 @@ class QueryOutcome:
     screened candidates, and ``accesses_charged`` the accesses its own
     relevance verdicts asked the batch to perform — the per-query
     accounting a fairness policy meters budgets against.
+
+    ``degraded`` marks a *sound but possibly incomplete* outcome: accesses
+    this query wanted failed past their retries (``failed_accesses`` lists
+    their keys) or the query's deadline expired, and the query did not
+    reach certainty anyway.  The answer set is still the certain answers at
+    the facts actually merged — by monotonicity a subset of the fault-free
+    answers, never a wrong claim.  ``attempts`` totals the source-call
+    attempts (including retries) spent on accesses this query wanted.
     """
 
     query: object
@@ -98,6 +108,9 @@ class QueryOutcome:
     rounds_exhausted: bool = False
     rounds_used: int = 0
     accesses_charged: int = 0
+    degraded: bool = False
+    failed_accesses: Tuple[Tuple[str, Tuple[object, ...]], ...] = ()
+    attempts: int = 0
 
     @property
     def boolean_answer(self) -> bool:
@@ -129,6 +142,11 @@ class ServerResult:
         """The Boolean readings, in query submission order."""
         return tuple(outcome.boolean_answer for outcome in self.outcomes)
 
+    @property
+    def degraded(self) -> bool:
+        """Whether any query retired with a degraded (sound-subset) outcome."""
+        return any(outcome.degraded for outcome in self.outcomes)
+
 
 class _QueryState:
     """One query's strategy state inside an answer call."""
@@ -148,6 +166,9 @@ class _QueryState:
         "access_budget",
         "rounds_used",
         "accesses_charged",
+        "deadline",
+        "failed_keys",
+        "attempts",
     )
 
     def __init__(self, query, boolean, oracle, screen, prefilter_ltr, index) -> None:
@@ -173,6 +194,16 @@ class _QueryState:
         self.access_budget = None
         self.rounds_used = 0
         self.accesses_charged = 0
+        #: Fault accounting: the query's deadline (``None`` = unlimited),
+        #: the keys of wanted accesses that failed past their retries, and
+        #: the total source-call attempts spent on this query's accesses.
+        self.deadline = None
+        self.failed_keys = set()
+        self.attempts = 0
+
+    def deadline_expired(self) -> bool:
+        """Whether this query's deadline (if any) has passed."""
+        return self.deadline is not None and self.deadline.expired()
 
     def over_budget(self) -> bool:
         """Whether either fairness budget is spent."""
@@ -367,6 +398,8 @@ class QueryServer:
         strategy: str = "guided",
         round_budgets: Optional[Sequence[Optional[int]]] = None,
         access_budgets: Optional[Sequence[Optional[int]]] = None,
+        deadlines: Optional[Sequence[Optional[float]]] = None,
+        deadline_s: Optional[float] = None,
     ) -> ServerResult:
         """Answer a batch of queries over the shared configuration.
 
@@ -385,6 +418,17 @@ class QueryServer:
         query of a coalesced batch from starving the rest: the dominating
         query spends its budget and retires; everyone else keeps answering.
         ``None`` entries (and ``None`` budgets) mean unlimited.
+
+        ``deadlines`` / ``deadline_s`` (guided strategy only) give each
+        query, positionally (or uniformly with the scalar ``deadline_s``),
+        a wall-clock budget in seconds, counted from this call's start.  A
+        query whose deadline expires retires with a ``degraded`` outcome —
+        its answers are the sound certain answers from the facts merged so
+        far — while batchmates keep answering; a hung source cannot block
+        past expiry (the executor abandons in-flight work unmerged).
+        Accesses that fail past the mediator's retry policy likewise retire
+        the wanting queries as degraded once rounds stop progressing, with
+        the failing access keys in ``QueryOutcome.failed_accesses``.
         """
         if strategy not in ("guided", "exhaustive"):
             raise QueryError(f"unknown answering strategy {strategy!r}")
@@ -398,8 +442,23 @@ class QueryServer:
                     f"{name} must align with queries "
                     f"({len(budgets)} budgets for {len(queries)} queries)"
                 )
+        if deadlines is not None and len(deadlines) != len(queries):
+            raise QueryError(
+                f"deadlines must align with queries "
+                f"({len(deadlines)} deadlines for {len(queries)} queries)"
+            )
+        if deadlines is None and deadline_s is not None:
+            deadlines = [deadline_s] * len(queries)
         if not queries:
             return ServerResult((), 0, 0, 0)
+        # The clock starts here: convert the per-query second budgets into
+        # absolute monotonic deadlines before any retrieval work begins.
+        query_deadlines: Optional[List[Optional[Deadline]]] = None
+        if deadlines is not None:
+            query_deadlines = [
+                Deadline.after(seconds) if seconds is not None else None
+                for seconds in deadlines
+            ]
         executor = self._executor
         accesses_before = self._mediator.access_count
         facts_before = len(self._mediator.configuration_view)
@@ -418,6 +477,7 @@ class QueryServer:
                         max_rounds,
                         round_budgets=round_budgets,
                         access_budgets=access_budgets,
+                        deadlines=query_deadlines,
                     )
                 outcomes = self._finalize(states)
                 result = ServerResult(
@@ -445,6 +505,7 @@ class QueryServer:
         queries: Sequence[object],
         round_budgets: Optional[Sequence[Optional[int]]] = None,
         access_budgets: Optional[Sequence[Optional[int]]] = None,
+        deadlines: Optional[Sequence[Optional[Deadline]]] = None,
     ) -> List[_QueryState]:
         states: List[_QueryState] = []
         schema = self._mediator.schema
@@ -472,6 +533,8 @@ class QueryServer:
                 state.round_budget = round_budgets[index]
             if access_budgets is not None:
                 state.access_budget = access_budgets[index]
+            if deadlines is not None:
+                state.deadline = deadlines[index]
             states.append(state)
         return states
 
@@ -513,7 +576,20 @@ class QueryServer:
                     for state in unresolved
                 ]
                 for state, future in zip(unresolved, futures):
-                    payload = future.result()
+                    # A deadlined query must not block on a slow pooled
+                    # certainty check: give the future only the query's
+                    # remaining time and leave the state uncertain on a
+                    # timeout (sound — certainty is only ever an upgrade).
+                    timeout = None
+                    if state.deadline is not None:
+                        remaining = state.deadline.remaining()
+                        if remaining != float("inf"):
+                            timeout = max(0.0, remaining)
+                    try:
+                        payload = future.result(timeout=timeout)
+                    except FuturesTimeout:
+                        self._metrics.incr("deadline.certainty_timeout")
+                        continue
                     if trace:
                         payload, span_specs = payload
                         tracer.adopt_spans(span_specs, parent, query=state.index)
@@ -536,10 +612,11 @@ class QueryServer:
         max_rounds: int,
         round_budgets: Optional[Sequence[Optional[int]]] = None,
         access_budgets: Optional[Sequence[Optional[int]]] = None,
+        deadlines: Optional[Sequence[Optional[Deadline]]] = None,
     ) -> Tuple[List[_QueryState], int, bool]:
         mediator = self._mediator
         schema = mediator.schema
-        states = self._make_states(queries, round_budgets, access_budgets)
+        states = self._make_states(queries, round_budgets, access_budgets, deadlines)
         rounds = 0
         progressed_out = False
         tracer = current_tracer()
@@ -594,12 +671,17 @@ class QueryServer:
         # Budget enforcement: a query whose round/access budget is spent is
         # retired from the shared rounds (its outcome flags
         # ``rounds_exhausted``) — the batch keeps answering everyone else.
+        # A spent deadline retires the same way; ``_finalize`` turns the
+        # retirement into a ``degraded`` outcome when certainty was missed.
         for state in states:
             if state.certain or state.exhausted:
                 continue
             if state.over_budget():
                 state.exhausted = True
                 self._metrics.incr("server.budget_exhausted")
+            elif state.deadline_expired():
+                state.exhausted = True
+                self._metrics.incr("deadline.expired")
         active = [
             state for state in states if not state.certain and not state.exhausted
         ]
@@ -753,6 +835,18 @@ class QueryServer:
             for oracle in absorbers:
                 oracle.absorb_response(response)
 
+        # The batch deadline is the most generous remaining deadline among
+        # the round's active queries — the batch serves all of them, so it
+        # may run as long as *any* participant is still allowed to wait.
+        # (Per-query expiry is enforced at round boundaries above.)  With
+        # even one unlimited query the batch itself is unlimited.
+        batch_deadline: Optional[Deadline] = None
+        if active and all(state.deadline is not None for state in active):
+            batch_deadline = max(
+                (state.deadline for state in active),
+                key=lambda deadline: deadline.remaining(),
+            )
+
         batch = executor.execute_batch(
             batch_accesses,
             precheck=precheck,
@@ -760,7 +854,23 @@ class QueryServer:
             max_concurrency=self._parallelism,
             annotate_access=annotate_access if tracer.enabled else None,
             on_response=on_response if absorbers else None,
+            deadline=batch_deadline,
+            tolerate_failures=True,
         )
+        # Attribute the batch's failures and retry effort to the queries
+        # that wanted each access.  Failed accesses stay un-performed (the
+        # executor never marks them), so they re-candidate next round; once
+        # nothing progresses, the wanting queries retire with the keys in
+        # ``failed_accesses``.
+        for access, _error, _attempts in batch.failed:
+            key = executor.key(access)
+            for state in wanted.get(key, ()):
+                if key not in state.failed_keys:
+                    state.failed_keys.add(key)
+                    self._metrics.incr("server.access_failures")
+        for key, attempts in batch.attempts_by_key.items():
+            for state in wanted.get(key, ()):
+                state.attempts += attempts
         if not batch.progressed:
             return (False, False)
         return None
@@ -840,6 +950,15 @@ class QueryServer:
             # configuration — the rounds may have ended between the merge
             # that made a query certain and its next certainty check.
             certain = state.certain or state.oracle.is_certain(final)
+            # Degraded = faults actually cost this query something: wanted
+            # accesses failed past retries or its deadline expired, *and*
+            # certainty was still missed.  A query that reached certainty
+            # despite faults is simply certain — the failures were moot.
+            degraded = (
+                bool(state.failed_keys) or state.deadline_expired()
+            ) and not certain
+            if degraded:
+                self._metrics.incr("server.degraded")
             outcomes.append(
                 QueryOutcome(
                     query=state.query,
@@ -849,6 +968,9 @@ class QueryServer:
                     rounds_exhausted=state.exhausted,
                     rounds_used=state.rounds_used,
                     accesses_charged=state.accesses_charged,
+                    degraded=degraded,
+                    failed_accesses=tuple(sorted(state.failed_keys, key=repr)),
+                    attempts=state.attempts,
                 )
             )
         return tuple(outcomes)

@@ -69,6 +69,7 @@ __all__ = ["AnsweringService", "ServiceHandle", "serve_in_background"]
 _REASONS = {
     200: "OK",
     202: "Accepted",
+    206: "Partial Content",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
@@ -78,8 +79,12 @@ _REASONS = {
     503: "Service Unavailable",
 }
 
-#: Submission states, in order of a healthy lifecycle.
+#: Submission states, in order of a healthy lifecycle.  ``degraded`` is a
+#: *resolved* state: the query terminated with sound answers, but faults
+#: (failed accesses or an expired deadline) may have kept it from the
+#: complete answer set — clients see HTTP 206 instead of 200.
 _QUEUED, _ANSWERING, _DONE, _FAILED = "queued", "answering", "done", "failed"
+_DEGRADED = "degraded"
 
 
 class _BadRequest(Exception):
@@ -293,6 +298,7 @@ class AnsweringService:
                 record.state = _ANSWERING
         self._admission.started(len(queries))
         round_budgets, access_budgets = self._admission.budgets_for(len(queries))
+        deadlines = self._admission.deadlines_for(len(queries))
         tracer = Tracer() if self._trace_requests else None
         self._metrics.incr("service.batches")
         self._metrics.incr("service.batched_queries", len(queries))
@@ -303,6 +309,7 @@ class AnsweringService:
                 queries,
                 round_budgets,
                 access_budgets,
+                deadlines,
                 tracer,
             )
         except Exception as exc:  # answering failed: fail the whole batch
@@ -319,13 +326,19 @@ class AnsweringService:
         for record, outcome in zip(records, result.outcomes):
             record.outcome = _outcome_dict(outcome)
             record.trace = report
-            record.state = _DONE
+            if outcome.degraded:
+                record.state = _DEGRADED
+                self._metrics.incr("service.degraded_queries")
+            else:
+                record.state = _DONE
             if not record.future.done():
                 record.future.set_result(record)
         for submission in batch:
             self._admission.resolved(submission.client, len(submission.records))
 
-    def _answer_blocking(self, queries, round_budgets, access_budgets, tracer):
+    def _answer_blocking(
+        self, queries, round_budgets, access_budgets, deadlines, tracer
+    ):
         """The worker-thread body: one shared-rounds answer call."""
         if tracer is None:
             return self._server.answer(
@@ -333,6 +346,7 @@ class AnsweringService:
                 max_rounds=self._max_rounds,
                 round_budgets=round_budgets,
                 access_budgets=access_budgets,
+                deadlines=deadlines,
             )
         with activate_tracer(tracer):
             return self._server.answer(
@@ -340,6 +354,7 @@ class AnsweringService:
                 max_rounds=self._max_rounds,
                 round_budgets=round_budgets,
                 access_budgets=access_budgets,
+                deadlines=deadlines,
             )
 
     def _fail_queued(self, message: str) -> None:
@@ -446,6 +461,9 @@ class AnsweringService:
                     "records": store_stats.get("records", 0),
                     "bytes": store_stats.get("bytes", 0),
                 }
+            breakers = self._server.mediator.breakers
+            if breakers is not None:
+                health["breakers"] = dict(breakers.states())
             await self._send_json(writer, 200, health)
             return
         if path == "/queries" and method == "POST":
@@ -515,8 +533,15 @@ class AnsweringService:
             await self._stream_outcomes(writer, records)
         elif wait:
             await asyncio.gather(*(record.future for record in records))
+            # 206 tells a synchronous client at the HTTP layer that some
+            # answer set is a sound subset (degraded), not the full answer.
+            status = (
+                206
+                if any(record.state == _DEGRADED for record in records)
+                else 200
+            )
             await self._send_json(
-                writer, 200, {"queries": [_record_dict(r) for r in records]}
+                writer, status, {"queries": [_record_dict(r) for r in records]}
             )
         else:
             await self._send_json(
@@ -596,7 +621,7 @@ class AnsweringService:
             # Evict the oldest *resolved* record; if everything is still
             # open (pathological max_records), evict the oldest outright.
             for record_id, existing in self._records.items():
-                if existing.state in (_DONE, _FAILED):
+                if existing.state in (_DONE, _DEGRADED, _FAILED):
                     del self._records[record_id]
                     break
             else:
@@ -660,6 +685,11 @@ def _outcome_dict(outcome) -> Dict[str, object]:
         "relevance_checks": outcome.relevance_checks,
         "rounds_used": outcome.rounds_used,
         "accesses_charged": outcome.accesses_charged,
+        "degraded": outcome.degraded,
+        "failed_accesses": [
+            [method, list(binding)] for method, binding in outcome.failed_accesses
+        ],
+        "attempts": outcome.attempts,
     }
 
 

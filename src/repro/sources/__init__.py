@@ -1,10 +1,11 @@
 """Simulated deep-Web sources, mediator, and the introduction's bank scenario."""
 
 from repro.sources.bank import BankScenario, build_bank_scenario, build_bank_schema
-from repro.sources.service import DataSource, Mediator
+from repro.sources.service import DataSource, FailurePolicy, Mediator
 
 __all__ = [
     "DataSource",
+    "FailurePolicy",
     "Mediator",
     "BankScenario",
     "build_bank_schema",

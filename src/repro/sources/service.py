@@ -37,6 +37,7 @@ import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor
 from concurrent.futures import wait as futures_wait
+from dataclasses import dataclass
 from typing import (
     TYPE_CHECKING,
     Callable,
@@ -50,6 +51,7 @@ from typing import (
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runtime imports us)
     from repro.runtime.metrics import RuntimeMetrics
+    from repro.runtime.retry import BreakerBoard, Deadline, RetryPolicy
 
 from repro.data import (
     AccessResponse,
@@ -58,10 +60,17 @@ from repro.data import (
     is_well_formed,
     response_from_instance,
 )
-from repro.exceptions import AccessError, SchemaError
+from repro.exceptions import (
+    AccessError,
+    CircuitOpenError,
+    DeadlineExceeded,
+    MalformedResponseError,
+    SchemaError,
+    TransientAccessError,
+)
 from repro.schema import Access, AccessMethod, Schema
 
-__all__ = ["DataSource", "Mediator"]
+__all__ = ["DataSource", "FailurePolicy", "Mediator"]
 
 
 def _current_tracer():
@@ -82,6 +91,69 @@ def _current_tracer():
 
 
 _current_tracer_impl = None
+
+
+@dataclass(frozen=True)
+class FailurePolicy:
+    """Seeded, deterministic fault injection for one :class:`DataSource`.
+
+    Mirrors the ``latency_s``/``latency_jitter_s`` design: every decision is
+    a stable ``blake2b`` draw keyed by ``(seed, failure kind, method,
+    binding, attempt number)``, so a chaos run is reproducible per
+    ``(seed, access)`` — the Nth attempt of a given access fails (or not)
+    identically across runs, threads, and processes.
+
+    Parameters
+    ----------
+    transient_rate:
+        Probability that an attempt raises
+        :class:`~repro.exceptions.TransientAccessError` (retryable) before
+        the simulated round trip.
+    hard_fail_after:
+        After this many total calls the source raises a plain (fatal)
+        :class:`~repro.exceptions.AccessError` forever — a permanent outage.
+        The trip point counts *calls to the source*, so under a concurrent
+        batch it depends on interleaving; chaos tests that assert exact
+        schedules run sequentially.
+    hang_rate / hang_s:
+        Probability that an attempt hangs for an extra ``hang_s`` seconds on
+        top of the configured latency — the "latency spike beyond deadline"
+        mode deadline tests use.
+    malformed_rate:
+        Probability that the response arrives garbled:
+        :class:`~repro.exceptions.MalformedResponseError` (retryable) is
+        raised *after* the simulated round trip.
+    truncate_rate:
+        Probability that a successful response is truncated to half its
+        rows.  Truncation is sound (a subset of the true answer), so it
+        degrades completeness without raising.
+    seed:
+        Seed of all the draws above; vary it per source.
+    """
+
+    transient_rate: float = 0.0
+    hard_fail_after: Optional[int] = None
+    hang_rate: float = 0.0
+    hang_s: float = 0.0
+    malformed_rate: float = 0.0
+    truncate_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("transient_rate", "hang_rate", "malformed_rate", "truncate_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise AccessError(f"{name} must be between 0 and 1")
+        if self.hang_s < 0.0:
+            raise AccessError("hang_s must be non-negative")
+        if self.hard_fail_after is not None and self.hard_fail_after < 0:
+            raise AccessError("hard_fail_after must be non-negative")
+
+    def _draw(self, kind: str, method: str, binding: Tuple, attempt: int) -> float:
+        """Stable uniform draw in ``[0, 1)`` for one (kind, access, attempt)."""
+        token = repr((self.seed, kind, method, binding, attempt)).encode()
+        digest = hashlib.blake2b(token, digest_size=8).digest()
+        return int.from_bytes(digest, "big") / 2.0**64
 
 
 class DataSource:
@@ -108,11 +180,16 @@ class DataSource:
     latency_jitter_s:
         Upper bound of an additional uniform per-call delay drawn from the
         source's seeded random generator.
+    failure_policy:
+        Optional :class:`FailurePolicy` injecting seeded, deterministic
+        faults (transient errors, permanent outage, hangs, malformed or
+        truncated responses).  ``None`` (the default) is the fault-free
+        source with zero added bookkeeping on the respond path.
 
     ``respond`` may be called from many threads at once: the hidden instance
-    is only read, the call counter and the jitter draw are guarded by a
-    per-source lock, and the latency sleep happens outside that lock so
-    concurrent accesses genuinely overlap.
+    is only read, the call counter, the jitter draw, and the per-access
+    attempt counter are guarded by a per-source lock, and the latency sleep
+    happens outside that lock so concurrent accesses genuinely overlap.
     """
 
     def __init__(
@@ -124,6 +201,7 @@ class DataSource:
         seed: int = 0,
         latency_s: float = 0.0,
         latency_jitter_s: float = 0.0,
+        failure_policy: Optional[FailurePolicy] = None,
     ) -> None:
         if not 0.0 <= completeness <= 1.0:
             raise AccessError("completeness must be between 0 and 1")
@@ -136,6 +214,8 @@ class DataSource:
         self._random = random.Random(seed)
         self._latency_s = latency_s
         self._latency_jitter_s = latency_jitter_s
+        self._failure_policy = failure_policy
+        self._attempt_counts: Dict[Tuple, int] = {}
         self._lock = threading.Lock()
         self.calls = 0
 
@@ -148,6 +228,11 @@ class DataSource:
     def latency_s(self) -> float:
         """The fixed simulated per-access delay."""
         return self._latency_s
+
+    @property
+    def failure_policy(self) -> Optional[FailurePolicy]:
+        """The seeded fault-injection policy, if any."""
+        return self._failure_policy
 
     def _keeps(self, access: Access, row: Tuple[object, ...]) -> bool:
         """Stable inclusion decision for one matching tuple of a partial source."""
@@ -165,11 +250,37 @@ class DataSource:
                 f"source for {self._method.name!r} received an access via "
                 f"{access.method.name!r}"
             )
+        policy = self._failure_policy
+        attempt = 0
         with self._lock:
             self.calls += 1
+            total_calls = self.calls
             delay = self._latency_s
             if self._latency_jitter_s > 0.0:
                 delay += self._random.random() * self._latency_jitter_s
+            if policy is not None:
+                attempt = self._attempt_counts.get(access.binding, 0) + 1
+                self._attempt_counts[access.binding] = attempt
+        method = self._method.name
+        if policy is not None:
+            if policy.hard_fail_after is not None and total_calls > policy.hard_fail_after:
+                raise AccessError(
+                    f"source for {method!r} is permanently down "
+                    f"(hard failure after {policy.hard_fail_after} calls)"
+                )
+            if policy.transient_rate > 0.0 and (
+                policy._draw("transient", method, access.binding, attempt)
+                < policy.transient_rate
+            ):
+                # Fails before the round trip, like a refused connection.
+                raise TransientAccessError(
+                    f"transient failure from source {method!r} "
+                    f"(access {access.binding!r}, attempt {attempt})"
+                )
+            if policy.hang_rate > 0.0 and (
+                policy._draw("hang", method, access.binding, attempt) < policy.hang_rate
+            ):
+                delay += policy.hang_s
         if delay > 0.0:
             # Outside the lock: concurrent accesses to one source overlap.
             time.sleep(delay)
@@ -183,6 +294,22 @@ class DataSource:
             chosen: Sequence[Tuple[object, ...]] = matching
         else:
             chosen = [row for row in matching if self._keeps(access, row)]
+        if policy is not None:
+            if policy.malformed_rate > 0.0 and (
+                policy._draw("malformed", method, access.binding, attempt)
+                < policy.malformed_rate
+            ):
+                # Fails after the round trip, like a garbled payload.
+                raise MalformedResponseError(
+                    f"malformed response from source {method!r} "
+                    f"(access {access.binding!r}, attempt {attempt})"
+                )
+            if policy.truncate_rate > 0.0 and chosen and (
+                policy._draw("truncate", method, access.binding, attempt)
+                < policy.truncate_rate
+            ):
+                # Sound degradation: a strict subset of the true answer.
+                chosen = list(chosen)[: len(chosen) // 2]
         # The tuples come from an index lookup keyed on the binding, over an
         # instance validated at construction: skip per-tuple re-validation.
         return AccessResponse.trusted(access, tuple(chosen))
@@ -209,6 +336,8 @@ class Mediator:
         initial_configuration: Optional[Configuration] = None,
         *,
         metrics: Optional["RuntimeMetrics"] = None,
+        retry_policy: Optional["RetryPolicy"] = None,
+        breakers: Optional["BreakerBoard"] = None,
     ) -> None:
         self._schema = schema
         self._sources: Dict[str, DataSource] = {}
@@ -225,6 +354,10 @@ class Mediator:
         )
         self._log: List[Tuple[Access, int]] = []
         self._metrics = metrics
+        self._retry = retry_policy
+        self._breakers = breakers
+        if breakers is not None and metrics is not None:
+            breakers.attach_metrics(metrics)
         self._merge_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
@@ -275,6 +408,16 @@ class Mediator:
             return self._sources[method_name]
         except KeyError:
             raise SchemaError(f"no source for access method {method_name!r}") from None
+
+    @property
+    def retry_policy(self) -> Optional["RetryPolicy"]:
+        """The retry policy applied to every source call, if any."""
+        return self._retry
+
+    @property
+    def breakers(self) -> Optional["BreakerBoard"]:
+        """The per-source circuit-breaker board, if any (``/healthz`` reads it)."""
+        return self._breakers
 
     # ------------------------------------------------------------------ #
     # Access execution
@@ -340,19 +483,159 @@ class Mediator:
             self._metrics.observe("source.latency", duration)
         return response, duration, span
 
+    @staticmethod
+    def _annotate_error(exc: BaseException, access: Access, attempts: int) -> BaseException:
+        """Attach the failing access and attempt count to an error, best effort."""
+        try:
+            if getattr(exc, "access", None) is None:
+                exc.access = access
+            exc.attempts = attempts
+        except Exception:  # pragma: no cover - exotic exception without __dict__
+            pass
+        return exc
+
+    @staticmethod
+    def _attach_batch_context(
+        exc: BaseException, access: Access, timings: Sequence[Tuple[Access, float]]
+    ) -> BaseException:
+        """Enrich a batch-aborting error with the access and partial timings.
+
+        The all-or-nothing raise of :meth:`perform_many` used to discard
+        *which* access failed; callers now find it in ``error.access`` and
+        the ``(access, duration)`` pairs merged before the failure in
+        ``error.timings``.
+        """
+        try:
+            if getattr(exc, "access", None) is None:
+                exc.access = access
+            exc.timings = tuple(timings)
+        except Exception:  # pragma: no cover - exotic exception without __dict__
+            pass
+        return exc
+
+    def _failure_span(
+        self, tracer, parent, access: Access, tags, start, duration, error, attempt, gave_up,
+        breaker_state=None,
+    ) -> None:
+        """Record a ``source-call`` span for a failed attempt (tracing only)."""
+        if not tracer.enabled:
+            return
+        span_tags = {
+            "method": access.method.name,
+            "error": type(error).__name__,
+            "attempt": attempt,
+            "gave_up": gave_up,
+        }
+        if breaker_state is not None and breaker_state != "closed":
+            span_tags["breaker"] = breaker_state
+        if tags:
+            span_tags.update(tags)
+        tracer.record_span(
+            "source-call", start=start, duration=duration, parent=parent, tags=span_tags
+        )
+
+    def _respond_resilient(self, access: Access, tracer, parent, tags=None, deadline=None):
+        """Answer ``access`` under the retry policy, breaker, and deadline.
+
+        Returns ``(response, duration, span, attempts)``.  Runs on worker
+        threads: retries (and their backoff sleeps) overlap in the pool while
+        merges stay on the dispatch thread.  With no policy, board, or
+        deadline configured this is a pass-through to :meth:`_respond_timed`
+        — the fault-free path is bit-identical to the pre-resilience code.
+        """
+        policy = self._retry
+        board = self._breakers
+        if policy is None and board is None and deadline is None:
+            response, duration, span = self._respond_timed(access, tracer, parent, tags)
+            return response, duration, span, 1
+        breaker = board.breaker_for(access.method.name) if board is not None else None
+        metrics = self._metrics
+        attempts = 0
+        while True:
+            if deadline is not None and deadline.expired():
+                raise self._annotate_error(
+                    DeadlineExceeded(
+                        f"deadline expired before access {access!r} could be attempted"
+                    ),
+                    access,
+                    attempts,
+                )
+            if breaker is not None and not breaker.allow():
+                if metrics is not None:
+                    metrics.incr("breaker.fast_fail")
+                exc = CircuitOpenError(
+                    f"circuit breaker open for source {access.method.name!r}"
+                )
+                self._failure_span(
+                    tracer, parent, access, tags, time.time(), 0.0, exc,
+                    attempts + 1, True, breaker_state="open",
+                )
+                raise self._annotate_error(exc, access, attempts)
+            attempts += 1
+            start = time.time()
+            t0 = time.perf_counter()
+            try:
+                response, duration, span = self._respond_timed(access, tracer, parent, tags)
+            except Exception as exc:
+                duration = time.perf_counter() - t0
+                if breaker is not None:
+                    breaker.record_failure()
+                if metrics is not None:
+                    metrics.incr("source.failures")
+                retryable = (
+                    policy is not None
+                    and attempts < policy.max_attempts
+                    and policy.is_retryable(exc)
+                )
+                backoff = 0.0
+                if retryable:
+                    backoff = policy.backoff_s(
+                        access.method.name, access.binding, attempts
+                    )
+                    if deadline is not None and deadline.remaining() <= backoff:
+                        retryable = False  # no budget left to wait out the backoff
+                self._failure_span(
+                    tracer, parent, access, tags, start, duration, exc,
+                    attempts, not retryable,
+                    breaker_state=None if breaker is None else breaker.state,
+                )
+                if not retryable:
+                    if metrics is not None and policy is not None:
+                        metrics.incr("retry.gave_up")
+                    raise self._annotate_error(exc, access, attempts)
+                if metrics is not None:
+                    metrics.incr("retry.attempts")
+                if backoff > 0.0:
+                    time.sleep(backoff)
+                continue
+            if breaker is not None:
+                breaker.record_success()
+            if attempts > 1:
+                if metrics is not None:
+                    metrics.incr("retry.recovered")
+                if span is not None:
+                    span.annotate(attempt=attempts)
+            return response, duration, span, attempts
+
     def _perform_counted_traced(
-        self, access: Access, tracer, parent, tags=None
-    ) -> Tuple[AccessResponse, int, float]:
+        self, access: Access, tracer, parent, tags=None, deadline=None
+    ) -> Tuple[AccessResponse, int, float, int]:
         """The :meth:`perform_counted` body with explicit trace plumbing."""
         if not self.can_perform(access):
-            raise AccessError(
-                f"access {access!r} is not well-formed at the current configuration"
+            raise self._annotate_error(
+                AccessError(
+                    f"access {access!r} is not well-formed at the current configuration"
+                ),
+                access,
+                0,
             )
-        response, duration, span = self._respond_timed(access, tracer, parent, tags)
+        response, duration, span, attempts = self._respond_resilient(
+            access, tracer, parent, tags, deadline
+        )
         new_facts = self._merge_response(access, response)
         if span is not None:
             span.annotate(new_facts=new_facts)
-        return response, new_facts, duration
+        return response, new_facts, duration, attempts
 
     def perform_counted(self, access: Access) -> Tuple[AccessResponse, int]:
         """Perform a well-formed access; return ``(response, new facts merged)``.
@@ -363,7 +646,7 @@ class Mediator:
         """
         tracer = _current_tracer()
         parent = tracer.context() if tracer.enabled else None
-        response, new_facts, _duration = self._perform_counted_traced(
+        response, new_facts, _duration, _attempts = self._perform_counted_traced(
             access, tracer, parent
         )
         return response, new_facts
@@ -386,29 +669,54 @@ class Mediator:
         should_perform: Optional[Callable[[Access], bool]] = None,
         on_performed: Optional[Callable[[Access, AccessResponse, int], None]] = None,
         on_timing: Optional[Callable[[Access, float], None]] = None,
+        on_attempts: Optional[Callable[[Access, int], None]] = None,
+        on_failure: Optional[Callable[[Access, BaseException, int], None]] = None,
         tags_for: Optional[Callable[[Access], Optional[Dict[str, object]]]] = None,
+        deadline: Optional["Deadline"] = None,
     ) -> List[Tuple[Access, AccessResponse, int]]:
         """Perform a batch of accesses, overlapping their source latency.
 
         Up to ``max_concurrency`` accesses are in flight at once; worker
-        threads only call :meth:`DataSource.respond`, while this (the
-        dispatching) thread checks well-formedness, consults
+        threads only call :meth:`DataSource.respond` (wrapped in the
+        mediator's retry policy and breaker, when configured), while this
+        (the dispatching) thread checks well-formedness, consults
         ``should_perform`` immediately before each dispatch, merges completed
         responses one at a time under the writer lock, and evaluates ``stop``
         between completions.  Once ``stop`` returns true no further access is
         dispatched; accesses already in flight were genuinely sent to their
         sources, so their responses are still merged and logged (the
-        performed set equals the dispatched set).
+        performed set equals the dispatched set — except under an expired
+        ``deadline``, which abandons in-flight work unmerged).
 
         ``on_performed`` is invoked on this thread right after each merge —
         callers tracking which accesses were performed (the executor's
         deduplication set) see every merge even if a later access of the
         batch fails and the call raises.  ``on_timing`` likewise runs on this
         thread after each merge with the access's measured source round-trip,
-        so callers can feed per-access latency histograms.  ``tags_for`` is
+        so callers can feed per-access latency histograms, and
+        ``on_attempts`` reports how many source-call attempts the access
+        took (1 unless the retry policy kicked in).  ``tags_for`` is
         evaluated at dispatch time (on this thread) and its tags land on the
         access's ``source-call`` trace span — the hook the executor uses to
         attach why-was-this-access-performed annotations.
+
+        Failure semantics: with ``on_failure`` *unset*, the first failing
+        access aborts the batch — remaining in-flight work is drained, then
+        the error is re-raised carrying the failing ``Access`` in
+        ``error.access``, the ``(access, duration)`` pairs merged before the
+        failure in ``error.timings``, and the attempt count in
+        ``error.attempts``.  With ``on_failure`` set, each failure is
+        reported on this thread as ``on_failure(access, error, attempts)``
+        and the rest of the batch proceeds — the degraded mode the answering
+        runtime uses so one flaky source cannot wedge its batchmates.
+
+        ``deadline`` bounds the whole batch: no new access is dispatched
+        after expiry, retries never back off past it, and if it expires with
+        work still hung in flight those accesses are abandoned (reported as
+        :class:`~repro.exceptions.DeadlineExceeded`; the worker threads
+        finish in the background and their responses are discarded, never
+        merged).  A batch with a deadline runs on the pooled path even at
+        ``max_concurrency=1`` so a hung source cannot block past expiry.
 
         Tracing note: the tracer active on *this* thread at entry, and its
         innermost open span, are captured once — worker threads record their
@@ -416,11 +724,13 @@ class Mediator:
         thread-locals do not follow work into the pool.
 
         Returns ``(access, response, new facts merged)`` triples in merge
-        (completion) order.  With ``max_concurrency <= 1`` the batch runs
-        strictly sequentially on this thread with identical semantics.
+        (completion) order.  With ``max_concurrency <= 1`` (and no deadline)
+        the batch runs strictly sequentially on this thread with identical
+        semantics.
         """
         pending = deque(accesses)
         performed: List[Tuple[Access, AccessResponse, int]] = []
+        completed_timings: List[Tuple[Access, float]] = []
         tracer = _current_tracer()
         batch_parent = tracer.context() if tracer.enabled else None
 
@@ -434,25 +744,47 @@ class Mediator:
             if on_performed is not None:
                 on_performed(access, response, new_facts)
 
-        if max_concurrency <= 1:
+        if max_concurrency <= 1 and deadline is None:
             while pending:
                 if stop is not None and stop():
                     break
                 access = pending.popleft()
                 if should_perform is not None and not should_perform(access):
                     continue
-                response, new_facts, duration = self._perform_counted_traced(
-                    access, tracer, batch_parent, dispatch_tags(access)
-                )
+                try:
+                    response, new_facts, duration, attempts = self._perform_counted_traced(
+                        access, tracer, batch_parent, dispatch_tags(access)
+                    )
+                except Exception as exc:
+                    if on_failure is not None:
+                        on_failure(access, exc, getattr(exc, "attempts", 1))
+                        continue
+                    raise self._attach_batch_context(exc, access, completed_timings)
+                completed_timings.append((access, duration))
                 if on_timing is not None:
                     on_timing(access, duration)
+                if on_attempts is not None:
+                    on_attempts(access, attempts)
                 record(access, response, new_facts)
             return performed
 
+        board = self._breakers
         errors: List[BaseException] = []
         stopped = False
-        with ThreadPoolExecutor(max_workers=max_concurrency) as pool:
+        abandoned = False
+        pool = ThreadPoolExecutor(max_workers=max(1, max_concurrency))
+        try:
             in_flight: Dict[object, Access] = {}
+
+            def fail(access: Access, exc: BaseException, attempts: int) -> bool:
+                """Report one failure; return True if the batch must stop."""
+                nonlocal stopped
+                if on_failure is not None:
+                    on_failure(access, exc, attempts)
+                    return False
+                errors.append(self._attach_batch_context(exc, access, completed_timings))
+                stopped = True
+                return True
 
             def dispatch_more() -> None:
                 nonlocal stopped
@@ -460,53 +792,109 @@ class Mediator:
                     if stop is not None and stop():
                         stopped = True
                         break
+                    if deadline is not None and deadline.expired():
+                        stopped = True
+                        break
                     access = pending.popleft()
                     if should_perform is not None and not should_perform(access):
                         continue
+                    if board is not None and board.breaker_for(
+                        access.method.name
+                    ).fail_fast():
+                        # Known-open breaker: fail fast on the dispatch thread
+                        # instead of queueing doomed work into the pool.
+                        if self._metrics is not None:
+                            self._metrics.incr("breaker.fast_fail")
+                        exc = self._annotate_error(
+                            CircuitOpenError(
+                                f"circuit breaker open for source "
+                                f"{access.method.name!r}"
+                            ),
+                            access,
+                            0,
+                        )
+                        if fail(access, exc, 0):
+                            break
+                        continue
                     if not self.can_perform(access):
-                        errors.append(
+                        exc = self._annotate_error(
                             AccessError(
                                 f"access {access!r} is not well-formed at the "
                                 f"current configuration"
-                            )
+                            ),
+                            access,
+                            0,
                         )
-                        stopped = True
-                        break
+                        if fail(access, exc, 0):
+                            break
+                        continue
                     in_flight[
                         pool.submit(
-                            self._respond_timed,
+                            self._respond_resilient,
                             access,
                             tracer,
                             batch_parent,
                             dispatch_tags(access),
+                            deadline,
                         )
                     ] = access
 
             dispatch_more()
             while in_flight:
-                done, _ = futures_wait(in_flight, return_when=FIRST_COMPLETED)
+                timeout = None
+                if deadline is not None:
+                    remaining = deadline.remaining()
+                    if remaining != float("inf"):
+                        timeout = max(0.0, remaining)
+                done, _ = futures_wait(
+                    in_flight, timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                if not done:
+                    # The deadline expired with work still hung in flight:
+                    # abandon it.  Queued-but-unstarted futures are
+                    # cancelled; running workers finish in the background
+                    # and their responses are discarded, never merged.
+                    abandoned = True
+                    stopped = True
+                    if self._metrics is not None:
+                        self._metrics.incr("deadline.abandoned", len(in_flight))
+                    for future, access in list(in_flight.items()):
+                        future.cancel()
+                        exc = self._annotate_error(
+                            DeadlineExceeded(
+                                f"deadline expired with access {access!r} in flight"
+                            ),
+                            access,
+                            0,
+                        )
+                        fail(access, exc, 0)
+                    in_flight.clear()
+                    break
                 for future in done:
                     access = in_flight.pop(future)
                     try:
-                        response, duration, span = future.result()
+                        response, duration, span, attempts = future.result()
                     except BaseException as exc:  # drain remaining in-flight work
-                        errors.append(exc)
-                        stopped = True
+                        fail(access, exc, getattr(exc, "attempts", 1))
                         continue
                     try:
                         new_facts = self._merge_response(access, response)
                     except BaseException as exc:
-                        errors.append(exc)
-                        stopped = True
+                        fail(access, exc, attempts)
                         continue
                     if span is not None:
                         span.annotate(new_facts=new_facts)
+                    completed_timings.append((access, duration))
                     if on_timing is not None:
                         on_timing(access, duration)
+                    if on_attempts is not None:
+                        on_attempts(access, attempts)
                     record(access, response, new_facts)
                 if stop is not None and not stopped and stop():
                     stopped = True
                 dispatch_more()
+        finally:
+            pool.shutdown(wait=not abandoned, cancel_futures=abandoned)
         if errors:
             raise errors[0]
         return performed

@@ -9,6 +9,7 @@ from repro.workloads.generators import (
 )
 from repro.workloads.query_generators import chain_query, random_cq, random_pq, star_query
 from repro.workloads.scenarios import (
+    FlakyScenario,
     MultiQueryScenario,
     bank_multi_query_scenario,
     RelevanceScenario,
@@ -16,6 +17,7 @@ from repro.workloads.scenarios import (
     dependent_chain_scenario,
     diamond_scenario,
     fanout_scenario,
+    flaky_scenario,
     multi_query_scenario,
     star_join_scenario,
     wide_fanout_scenario,
@@ -34,6 +36,7 @@ __all__ = [
     "star_query",
     "random_cq",
     "random_pq",
+    "FlakyScenario",
     "MultiQueryScenario",
     "RelevanceScenario",
     "bank_multi_query_scenario",
@@ -41,6 +44,7 @@ __all__ = [
     "independent_pq_scenario",
     "dependent_chain_scenario",
     "fanout_scenario",
+    "flaky_scenario",
     "multi_query_scenario",
     "star_join_scenario",
     "wide_fanout_scenario",

@@ -19,6 +19,7 @@ from repro.workloads.generators import chain_schema
 from repro.workloads.query_generators import chain_query, random_cq, random_pq
 
 __all__ = [
+    "FlakyScenario",
     "MultiQueryScenario",
     "RelevanceScenario",
     "bank_multi_query_scenario",
@@ -26,6 +27,7 @@ __all__ = [
     "independent_pq_scenario",
     "dependent_chain_scenario",
     "fanout_scenario",
+    "flaky_scenario",
     "wide_fanout_scenario",
     "diamond_scenario",
     "multi_query_scenario",
@@ -574,6 +576,142 @@ def bank_multi_query_scenario(
         queries=queries,
         hidden_instance=bank.hidden_instance,
     )
+
+
+@dataclass(frozen=True)
+class FlakyScenario:
+    """A multi-query scenario whose sources misbehave on demand.
+
+    Wraps a :class:`MultiQueryScenario` with one seeded
+    :class:`~repro.sources.service.FailurePolicy` per access method, so the
+    chaos tests, the ``--chaos`` demo, and the CI smoke all run the *same*
+    reproducible fault schedule.  :meth:`mediator` builds the faulty
+    federation; with ``chaos=False`` it builds the fault-free twin over the
+    identical hidden instance — the reference run the soundness property
+    compares degraded answers against.
+    """
+
+    base: MultiQueryScenario
+    #: ``(method_name, FailurePolicy)`` pairs, one per access method.
+    policies: Tuple[Tuple[str, object], ...]
+
+    @property
+    def name(self) -> str:
+        return f"flaky-{self.base.name}"
+
+    @property
+    def schema(self) -> Schema:
+        return self.base.schema
+
+    @property
+    def configuration(self) -> Configuration:
+        return self.base.configuration
+
+    @property
+    def queries(self) -> Tuple[object, ...]:
+        return self.base.queries
+
+    @property
+    def hidden_instance(self) -> Instance:
+        return self.base.hidden_instance
+
+    def mediator(
+        self,
+        *,
+        chaos: bool = True,
+        retry_policy=None,
+        breakers=None,
+        latency_s: float = 0.0,
+        latency_jitter_s: float = 0.0,
+        completeness: float = 1.0,
+        seed: int = 0,
+        metrics=None,
+    ):
+        """A mediator over the scenario's sources (fresh state).
+
+        ``chaos`` arms the failure policies; ``retry_policy`` / ``breakers``
+        are forwarded to the :class:`~repro.sources.service.Mediator` so the
+        executor retries transient faults and fails fast on open circuits.
+        """
+        from repro.sources.service import DataSource, Mediator
+
+        by_method = dict(self.policies) if chaos else {}
+        sources = [
+            DataSource(
+                method,
+                self.base.hidden_instance,
+                completeness=completeness,
+                seed=seed + index,
+                latency_s=latency_s,
+                latency_jitter_s=latency_jitter_s,
+                failure_policy=by_method.get(method.name),
+            )
+            for index, method in enumerate(self.base.schema.access_methods)
+        ]
+        return Mediator(
+            self.base.schema,
+            sources,
+            self.base.configuration.copy(),
+            metrics=metrics,
+            retry_policy=retry_policy,
+            breakers=breakers,
+        )
+
+
+def flaky_scenario(
+    kind: str = "fanout",
+    *,
+    seed: int = 0,
+    transient_rate: float = 0.2,
+    hard_fail_after: Optional[int] = None,
+    hard_fail_methods: Tuple[str, ...] = (),
+    hang_rate: float = 0.0,
+    hang_s: float = 0.0,
+    malformed_rate: float = 0.0,
+    truncate_rate: float = 0.0,
+    n_queries: int = 6,
+) -> FlakyScenario:
+    """A seeded chaos workload over the fanout or bank multi-query scenario.
+
+    Every access method gets a :class:`~repro.sources.service.FailurePolicy`
+    with the given rates and a per-method seed derived from ``seed`` — the
+    fault schedule is a pure function of ``(seed, access, attempt)``, so two
+    runs with the same seed fail identically.  ``hard_fail_after`` (calls
+    before a source goes permanently down) applies only to the methods named
+    in ``hard_fail_methods`` — or, when that is empty, to the *first* access
+    method — so chaos runs exercise give-up paths without taking the whole
+    federation down.
+    """
+    if kind == "bank":
+        base = bank_multi_query_scenario(n_queries)
+    elif kind == "fanout":
+        base = multi_query_scenario(n_queries)
+    else:
+        raise ValueError(f"unknown flaky scenario kind {kind!r}")
+    from repro.sources.service import FailurePolicy
+
+    method_names = [method.name for method in base.schema.access_methods]
+    hard_targets = (
+        set(hard_fail_methods) if hard_fail_methods else {method_names[0]}
+    )
+    policies = tuple(
+        (
+            name,
+            FailurePolicy(
+                transient_rate=transient_rate,
+                hard_fail_after=(
+                    hard_fail_after if name in hard_targets else None
+                ),
+                hang_rate=hang_rate,
+                hang_s=hang_s,
+                malformed_rate=malformed_rate,
+                truncate_rate=truncate_rate,
+                seed=seed + index,
+            ),
+        )
+        for index, name in enumerate(method_names)
+    )
+    return FlakyScenario(base=base, policies=policies)
 
 
 def containment_example_scenario() -> Tuple[Schema, Configuration, ConjunctiveQuery, ConjunctiveQuery]:
